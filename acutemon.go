@@ -1,0 +1,158 @@
+// Package acutemon is the public facade of this repository: a faithful
+// reproduction of "Demystifying and Puncturing the Inflated Delay in
+// Smartphone-based WiFi Network Measurement" (Li, Wu, Chang, Mok —
+// CoNEXT 2016).
+//
+// The paper shows that the delay reported by smartphone measurement
+// apps over WiFi is inflated by two energy-saving mechanisms — SDIO/SMD
+// host-bus sleep inside the phone (§3.2.1) and 802.11 adaptive PSM
+// between phone and AP (§3.2.2) — and presents AcuteMon, which defeats
+// both by keeping the phone awake with a warm-up packet plus TTL=1
+// background traffic while a native measurement thread probes.
+//
+// This package re-exports the main entry points:
+//
+//   - NewTestbed builds the simulated Fig 2 testbed (phone, AP,
+//     sniffers, wired servers, cross-traffic generator);
+//   - Measure runs AcuteMon on a testbed; Calibrate infers the phone's
+//     demotion timers (Tis, Tip) first;
+//   - Ping / HTTPing / JavaPing / Ping2 run the comparison tools;
+//   - LiveMeasure runs the same probing scheme over real sockets;
+//   - the experiments subpackage regenerates every table and figure.
+package acutemon
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+// Re-exported types. The implementation lives in internal packages; the
+// aliases below form the supported public surface.
+type (
+	// Testbed is the simulated Fig 2 rig.
+	Testbed = testbed.Testbed
+	// TestbedConfig parameterises a testbed.
+	TestbedConfig = testbed.Config
+	// Phone is an assembled simulated smartphone.
+	Phone = android.Phone
+	// Profile describes one of the paper's five phones.
+	Profile = android.Profile
+	// Config parameterises an AcuteMon run.
+	Config = core.Config
+	// Result is an AcuteMon run result.
+	Result = core.Result
+	// Calibration carries inferred Tis/Tip values.
+	Calibration = core.Calibration
+	// CalibrateOptions tunes calibration.
+	CalibrateOptions = core.CalibrateOptions
+	// ToolResult is a comparison-tool run result.
+	ToolResult = tools.Result
+	// LiveConfig parameterises a real-socket measurement.
+	LiveConfig = live.Config
+	// LiveResult is a real-socket measurement result.
+	LiveResult = live.Result
+	// Sample is a set of duration observations with the paper's
+	// statistics (mean ±CI, boxplot, ECDF) attached.
+	Sample = stats.Sample
+)
+
+// Probe types for Config.Probe.
+const (
+	ProbeTCPSyn   = core.ProbeTCPSyn
+	ProbeHTTPGet  = core.ProbeHTTPGet
+	ProbeUDPEcho  = core.ProbeUDPEcho
+	ProbeICMPEcho = core.ProbeICMPEcho
+)
+
+// DefaultTestbedConfig returns a Nexus 5 testbed with a 30 ms emulated
+// path, mirroring the paper's root-cause setup.
+func DefaultTestbedConfig() TestbedConfig { return testbed.DefaultConfig() }
+
+// NewTestbed assembles a simulated testbed.
+func NewTestbed(cfg TestbedConfig) *Testbed { return testbed.New(cfg) }
+
+// Profiles lists the five phones of the paper's Table 1.
+func Profiles() []Profile { return android.Profiles() }
+
+// ProfileByName resolves a phone model name ("Nexus 5", "nexus4", …).
+func ProfileByName(name string) (Profile, bool) { return android.ProfileByName(name) }
+
+// DefaultConfig returns the paper's empirical AcuteMon parameters
+// (K=100, dpre=db=20 ms, TTL=1).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Measure runs AcuteMon on the testbed and drives the simulation until
+// the run completes.
+func Measure(tb *Testbed, cfg Config) *Result { return core.New(tb, cfg).Run() }
+
+// Calibrate infers the phone's Tis and Tip (the paper's future-work
+// training procedure) from sniffer and user-level observations only.
+func Calibrate(tb *Testbed, opts CalibrateOptions) Calibration { return core.Calibrate(tb, opts) }
+
+// MeasureCalibrated calibrates, then measures with the recommended
+// dpre/db.
+func MeasureCalibrated(tb *Testbed, cfg Config, opts CalibrateOptions) (*Result, Calibration) {
+	return core.RunCalibrated(tb, cfg, opts)
+}
+
+// Overheads extracts Δdu−k and Δdk−n samples for an AcuteMon result —
+// the quantities of the paper's Figure 7.
+func Overheads(tb *Testbed, res *Result) (duk, dkn Sample) {
+	return core.OverheadStats(tb, res)
+}
+
+// Ping runs stock ICMP ping on the testbed phone (§3.1), quirks
+// included.
+func Ping(tb *Testbed, count int, interval time.Duration) *ToolResult {
+	return tools.Ping(tb, tools.PingOptions{Count: count, Interval: interval})
+}
+
+// HTTPing runs the cross-compiled httping comparison tool.
+func HTTPing(tb *Testbed, count int, interval time.Duration) *ToolResult {
+	return tools.HTTPing(tb, tools.HTTPingOptions{Count: count, Interval: interval})
+}
+
+// JavaPing runs the MobiPerf-style Dalvik SYN/RST prober.
+func JavaPing(tb *Testbed, count int, interval time.Duration) *ToolResult {
+	return tools.JavaPing(tb, tools.JavaPingOptions{Count: count, Interval: interval})
+}
+
+// Ping2 runs the server-side double-ping baseline of Sui et al.
+func Ping2(tb *Testbed, rounds int, gap time.Duration) *ToolResult {
+	return tools.Ping2(tb, tools.Ping2Options{Rounds: rounds, Gap: gap})
+}
+
+// ToolLayerSamples extracts du/dk/dn samples for a tool run.
+func ToolLayerSamples(tb *Testbed, res *ToolResult) (du, dk, dn Sample) {
+	return tools.LayerSamples(tb, *res)
+}
+
+// LiveMeasure runs the AcuteMon scheme over real sockets.
+func LiveMeasure(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
+	return live.Measure(ctx, cfg)
+}
+
+// StartLiveServers starts the loopback-testable live measurement target
+// (TCP connect/HTTP + UDP echo).
+func StartLiveServers(addr string) (*live.Servers, error) { return live.StartServers(addr) }
+
+// Registry is the per-model calibration database (the paper's §4.1
+// future-work item), persistable as JSON.
+type Registry = core.Registry
+
+// RegistryEntry is one phone model's calibrated parameters.
+type RegistryEntry = core.RegistryEntry
+
+// NewRegistry returns an empty calibration database.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// LoadRegistry parses a calibration database from JSON.
+func LoadRegistry(r io.Reader) (*Registry, error) { return core.LoadRegistry(r) }

@@ -1,0 +1,64 @@
+// Command acutemon-analyze inspects an 802.11 pcap capture offline —
+// the paper's §4.2.1 methodology: extract air-level RTTs and check for
+// PSM activity (PM=1 null frames, PS-Polls, TIM indications).
+//
+// Usage:
+//
+//	acutemon-analyze capture.pcap [more.pcap ...]
+//
+// Captures written by this repository's sniffers (cmd/acutemon -pcap)
+// and any little-endian microsecond pcap with link type 105 are
+// accepted.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/sniffer"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: acutemon-analyze capture.pcap [more.pcap ...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		if err := analyze(path); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func analyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := sniffer.AnalyzePcap(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s ===\n", path)
+	fmt.Printf("frames: %d  beacons: %d  retries: %d\n", a.Frames, a.Beacons, a.Retries)
+	fmt.Printf("PSM activity: %v  (null PM=1: %d, PS-Poll: %d, TIM: %d, MoreData: %d)\n",
+		a.PSMActive(), a.NullPM1, a.PSPolls, a.TIMIndications, a.MoreDataFrames)
+	if len(a.EchoRTTs) > 0 {
+		fmt.Printf("ICMP echo RTTs (dn): %s\n", a.EchoRTTs.Summarize())
+		fmt.Print(report.RenderCDF("echo dn", stats.NewECDF(a.EchoRTTs), 48))
+	}
+	if len(a.ConnectRTTs) > 0 {
+		fmt.Printf("TCP connect RTTs (dn): %s\n", a.ConnectRTTs.Summarize())
+		fmt.Print(report.RenderCDF("connect dn", stats.NewECDF(a.ConnectRTTs), 48))
+	}
+	if a.PSMActive() {
+		fmt.Println("note: PSM activity present — RTT samples may be beacon-inflated (§3.2.2)")
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command acutemon-bench regenerates the paper's tables and figures on
+// the simulated testbed and prints them to stdout.
+//
+// Usage:
+//
+//	acutemon-bench [-run all|table1|table2|table3|table4|table5|
+//	                     fig3|fig4|fig5|fig6|fig7|fig8|fig9|
+//	                     ablation-ping2|ablation-db|ablation-dpre|ablation-idletime]
+//	               [-probes N] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (comma-separated) or 'all'")
+	probes := flag.Int("probes", 100, "probes per cell (the paper uses 100)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced probe counts for a fast pass")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Probes: *probes, Quick: *quick}
+
+	type experiment struct {
+		id  string
+		run func(experiments.Options) string
+	}
+	all := []experiment{
+		{"table1", func(experiments.Options) string { return experiments.Table1() }},
+		{"table2", func(o experiments.Options) string { return experiments.RenderTable2(experiments.Table2Run(o)) }},
+		{"table3", func(o experiments.Options) string { return experiments.RenderTable3(experiments.Table3Run(o)) }},
+		{"table4", func(o experiments.Options) string { return experiments.RenderTable4(experiments.Table4Run(o)) }},
+		{"table5", func(o experiments.Options) string { return experiments.RenderTable5(experiments.Table5Run(o)) }},
+		{"fig3", func(o experiments.Options) string { return experiments.RenderFig3(experiments.Fig3Run(o)) }},
+		{"fig4", experiments.Fig4Run},
+		{"fig5", experiments.Fig5Run},
+		{"fig6", experiments.Fig6Run},
+		{"fig7", func(o experiments.Options) string { return experiments.RenderFig7(experiments.Fig7Run(o)) }},
+		{"fig8", func(o experiments.Options) string { return experiments.RenderFig8(experiments.Fig8Run(o)) }},
+		{"fig9", func(o experiments.Options) string { return experiments.RenderFig9(experiments.Fig9Run(o)) }},
+		{"ablation-ping2", func(o experiments.Options) string {
+			return experiments.RenderAblationPing2(experiments.AblationPing2(o))
+		}},
+		{"ablation-db", func(o experiments.Options) string {
+			return experiments.RenderAblationDB(experiments.AblationDB(o))
+		}},
+		{"ablation-dpre", func(o experiments.Options) string {
+			return experiments.RenderAblationDpre(experiments.AblationDpre(o))
+		}},
+		{"ablation-idletime", func(o experiments.Options) string {
+			return experiments.RenderAblationIdletime(experiments.AblationIdletime(o))
+		}},
+		{"extension-cellular", func(o experiments.Options) string {
+			return experiments.RenderCellular(experiments.ExtensionCellular(o))
+		}},
+		{"extension-energy", func(o experiments.Options) string {
+			return experiments.RenderEnergy(experiments.ExtensionEnergy(o))
+		}},
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	runAll := wanted["all"]
+
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.id] = true
+	}
+	for id := range wanted {
+		if id != "all" && !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:\n", id)
+			for _, e := range all {
+				fmt.Fprintf(os.Stderr, "  %s\n", e.id)
+			}
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if !runAll && !wanted[e.id] {
+			continue
+		}
+		start := time.Now()
+		out := e.run(opts)
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.id, time.Since(start).Seconds(), out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to run")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,116 @@
+// Command acutemon-live runs the AcuteMon probing scheme over real
+// sockets: `serve` starts the measurement target, `measure` probes it.
+//
+// Usage:
+//
+//	acutemon-live serve  [-addr 0.0.0.0:8807]
+//	acutemon-live measure -target host:port [-probe tcp|http|udp] [-k 20]
+//	                      [-dpre 20ms] [-db 20ms] [-no-bg] [-ttl 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "measure":
+		measure(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: acutemon-live serve|measure [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "0.0.0.0:8807", "listen address (TCP + UDP)")
+	fs.Parse(args)
+
+	srv, err := live.StartServers(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("measurement target listening on %s (TCP connect/HTTP + UDP echo)\n", srv.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	srv.Close()
+	http, udp, conns := srv.Stats()
+	fmt.Printf("served %d HTTP requests, %d UDP echoes, %d connections\n", http, udp, conns)
+}
+
+func measure(args []string) {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	target := fs.String("target", "", "measurement server host:port (required)")
+	probe := fs.String("probe", "tcp", "probe type: tcp|http|udp")
+	k := fs.Int("k", 20, "probe count")
+	dpre := fs.Duration("dpre", 20*time.Millisecond, "warm-up delay")
+	db := fs.Duration("db", 20*time.Millisecond, "background interval")
+	noBG := fs.Bool("no-bg", false, "disable background traffic")
+	ttl := fs.Int("ttl", 1, "background packet TTL")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-probe timeout")
+	fs.Parse(args)
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "-target required")
+		os.Exit(2)
+	}
+	var pt live.ProbeType
+	switch *probe {
+	case "tcp":
+		pt = live.ProbeTCPConnect
+	case "http":
+		pt = live.ProbeHTTPGet
+	case "udp":
+		pt = live.ProbeUDPEcho
+	default:
+		fmt.Fprintf(os.Stderr, "unknown probe %q\n", *probe)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := live.Measure(ctx, live.Config{
+		Target:             *target,
+		Probe:              pt,
+		K:                  *k,
+		WarmupDelay:        *dpre,
+		BackgroundInterval: *db,
+		BackgroundTTL:      *ttl,
+		ProbeTimeout:       *timeout,
+		NoBackground:       *noBG,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := res.Sample()
+	if len(s) == 0 {
+		fmt.Printf("no probes completed (%d lost)\n", res.Lost())
+		os.Exit(1)
+	}
+	fmt.Printf("probes: %d ok, %d lost; background packets: %d (ttl-limited: %v)\n",
+		len(s), res.Lost(), res.BackgroundSent, res.TTLLimited)
+	fmt.Printf("RTT: %s\n", s.Summarize())
+	fmt.Print(report.RenderCDF(*probe+" probe", stats.NewECDF(s), 48))
+}

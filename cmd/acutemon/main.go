@@ -1,0 +1,122 @@
+// Command acutemon runs one measurement on the simulated testbed and
+// prints the resulting RTT distribution and per-layer overheads.
+//
+// Usage:
+//
+//	acutemon [-phone "Google Nexus 5"] [-rtt 30ms] [-tool acutemon|ping|httping|javaping|ping2]
+//	         [-count 100] [-interval 1s] [-cross] [-seed 1] [-calibrate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+func main() {
+	phone := flag.String("phone", "Google Nexus 5", "phone model (see Table 1)")
+	rtt := flag.Duration("rtt", 30*time.Millisecond, "emulated path RTT")
+	tool := flag.String("tool", "acutemon", "measurement tool: acutemon|ping|httping|javaping|ping2")
+	count := flag.Int("count", 100, "probe count")
+	interval := flag.Duration("interval", time.Second, "probe interval (comparison tools)")
+	cross := flag.Bool("cross", false, "enable iPerf cross traffic (§4.3)")
+	seed := flag.Int64("seed", 1, "random seed")
+	calibrate := flag.Bool("calibrate", false, "calibrate Tis/Tip first and use the recommended dpre/db")
+	pcapPath := flag.String("pcap", "", "write sniffer A's capture to this .pcap file")
+	flag.Parse()
+
+	prof, ok := android.ProfileByName(*phone)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown phone %q; options:\n", *phone)
+		for _, p := range android.Profiles() {
+			fmt.Fprintf(os.Stderr, "  %s\n", p.Model)
+		}
+		os.Exit(2)
+	}
+
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Phone = prof
+	cfg.EmulatedRTT = *rtt
+	tb := testbed.New(cfg)
+	if *cross {
+		tb.StartCrossTraffic()
+	}
+	tb.Sim.RunUntil(300 * time.Millisecond) // let the idle phone settle
+
+	fmt.Printf("testbed: %s, emulated RTT %v, cross traffic %v\n", prof.Model, *rtt, *cross)
+
+	var sample stats.Sample
+	var layered *tools.Result
+	switch *tool {
+	case "acutemon":
+		amCfg := core.Config{K: *count}
+		if *calibrate {
+			res, cal := core.RunCalibrated(tb, amCfg, core.CalibrateOptions{})
+			fmt.Printf("calibration: Tip≈%v Tis≈%v → dpre=db=%v\n",
+				cal.Tip.Round(time.Millisecond), cal.Tis, cal.RecommendedInterval)
+			sample = res.Sample()
+			layered = &res.Result
+			fmt.Printf("background packets sent: %d (all dropped at the gateway)\n", res.BackgroundSent)
+		} else {
+			res := core.New(tb, amCfg).Run()
+			sample = res.Sample()
+			layered = &res.Result
+			fmt.Printf("background packets sent: %d (all dropped at the gateway)\n", res.BackgroundSent)
+		}
+	case "ping":
+		res := tools.Ping(tb, tools.PingOptions{Count: *count, Interval: *interval})
+		sample, layered = res.Sample(), res
+	case "httping":
+		res := tools.HTTPing(tb, tools.HTTPingOptions{Count: *count, Interval: *interval})
+		sample, layered = res.Sample(), res
+	case "javaping":
+		res := tools.JavaPing(tb, tools.JavaPingOptions{Count: *count, Interval: *interval})
+		sample, layered = res.Sample(), res
+	case "ping2":
+		res := tools.Ping2(tb, tools.Ping2Options{Rounds: *count, Gap: *interval})
+		sample, layered = res.Sample(), res
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
+		os.Exit(2)
+	}
+
+	if len(sample) == 0 {
+		fmt.Println("no probes completed")
+		os.Exit(1)
+	}
+	fmt.Printf("\n%s RTTs: %s\n", *tool, sample.Summarize())
+	fmt.Println(report.RenderCDF(*tool, stats.NewECDF(sample), 48))
+
+	du, dk, dn := tools.LayerSamples(tb, *layered)
+	if len(dn) > 0 {
+		fmt.Printf("per-layer means: du=%.2fms dk=%.2fms dn=%.2fms\n",
+			stats.Millis(du.Mean()), stats.Millis(dk.Mean()), stats.Millis(dn.Mean()))
+		duk, dkn := tools.Overheads(tb, *layered)
+		fmt.Printf("overheads: Δdu−k median=%.2fms, Δdk−n median=%.2fms (paper target: sum < 3ms under AcuteMon)\n",
+			stats.Millis(duk.Median()), stats.Millis(dkn.Median()))
+	}
+
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tb.Sniffers[0].WritePcap(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pcap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d captured frames to %s (802.11 link type; open with tcpdump/Wireshark)\n",
+			len(tb.Sniffers[0].Records()), *pcapPath)
+	}
+}

@@ -1,0 +1,74 @@
+package acutemon_test
+
+import (
+	"fmt"
+	"time"
+
+	acutemon "repro"
+)
+
+// The canonical workflow: build a testbed, let the phone idle, measure
+// with AcuteMon, inspect the overheads.
+func Example() {
+	cfg := acutemon.DefaultTestbedConfig()
+	cfg.Seed = 1234
+	cfg.EmulatedRTT = 50 * time.Millisecond
+	tb := acutemon.NewTestbed(cfg)
+	tb.Sim.RunUntil(500 * time.Millisecond) // the idle phone dozes
+
+	res := acutemon.Measure(tb, acutemon.Config{K: 100})
+	duk, dkn := acutemon.Overheads(tb, res)
+	fmt.Printf("completed: %d/100\n", len(res.Sample()))
+	fmt.Printf("median within 3ms of path: %v\n",
+		res.Sample().Median()-cfg.EmulatedRTT < 5*time.Millisecond)
+	fmt.Printf("overhead under 3ms: %v\n", duk.Median()+dkn.Median() < 3*time.Millisecond)
+	// Output:
+	// completed: 100/100
+	// median within 3ms of path: true
+	// overhead under 3ms: true
+}
+
+// Contrast AcuteMon against naive 1s-interval ping on a PSM-aggressive
+// phone (Nexus 4, Tip = 40ms) over a 60ms path: the naive measurement
+// inflates by beacon intervals, AcuteMon does not.
+func Example_inflation() {
+	prof, _ := acutemon.ProfileByName("Nexus 4")
+	cfg := acutemon.DefaultTestbedConfig()
+	cfg.Seed = 99
+	cfg.Phone = prof
+	cfg.EmulatedRTT = 60 * time.Millisecond
+
+	tbPing := acutemon.NewTestbed(cfg)
+	ping := acutemon.Ping(tbPing, 50, time.Second)
+
+	tbAM := acutemon.NewTestbed(cfg)
+	tbAM.Sim.RunUntil(500 * time.Millisecond)
+	am := acutemon.Measure(tbAM, acutemon.Config{K: 50})
+
+	fmt.Printf("ping median inflated beyond 100ms: %v\n",
+		ping.Sample().Median() > 100*time.Millisecond)
+	fmt.Printf("acutemon median within 65ms: %v\n",
+		am.Sample().Median() < 65*time.Millisecond)
+	// Output:
+	// ping median inflated beyond 100ms: true
+	// acutemon median within 65ms: true
+}
+
+// Calibration infers the phone's demotion timers before measuring, the
+// paper's future-work training procedure.
+func Example_calibration() {
+	prof, _ := acutemon.ProfileByName("Samsung Grand")
+	cfg := acutemon.DefaultTestbedConfig()
+	cfg.Seed = 5
+	cfg.Phone = prof
+	tb := acutemon.NewTestbed(cfg)
+
+	cal := acutemon.Calibrate(tb, acutemon.CalibrateOptions{})
+	fmt.Printf("Tip within [30ms,60ms]: %v\n",
+		cal.Tip >= 30*time.Millisecond && cal.Tip <= 60*time.Millisecond)
+	fmt.Printf("db honours db < min(Tis,Tip): %v\n",
+		cal.RecommendedInterval < cal.Tip)
+	// Output:
+	// Tip within [30ms,60ms]: true
+	// db honours db < min(Tis,Tip): true
+}

@@ -1,0 +1,38 @@
+// cellular demonstrates the §4 extension: the same energy-saving
+// inflation exists on cellular links through RRC state transitions
+// (IDLE→DCH promotions costing seconds), and the same background-traffic
+// cure applies — with a far cheaper db, since the demotion timer T1 is
+// seconds rather than the WiFi bus's 50 ms.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/stats"
+)
+
+func main() {
+	fmt.Println("UMTS modem, 40 ms core RTT (clean DCH path ≈ 100 ms):")
+	fmt.Println()
+	for _, interval := range []time.Duration{500 * time.Millisecond, 7 * time.Second, 20 * time.Second} {
+		tb := cellular.NewTestbed(cellular.TestbedConfig{Seed: 3, Radio: cellular.UMTS(), CoreRTT: 40 * time.Millisecond})
+		n := 20
+		if interval >= 7*time.Second {
+			n = 8
+		}
+		res := tb.Ping(n, interval)
+		fmt.Printf("  ping every %-6v → median %7.0f ms  max %7.0f ms   (%d RRC promotions)\n",
+			interval, stats.Millis(res.RTTs.Median()), stats.Millis(res.RTTs.Max()),
+			tb.Modem.Stats.Promotions)
+	}
+
+	tb := cellular.NewTestbed(cellular.TestbedConfig{Seed: 3, Radio: cellular.UMTS(), CoreRTT: 40 * time.Millisecond})
+	tb.Sim.RunFor(30 * time.Second) // modem idles into IDLE first
+	res := tb.RunAcuteMon(20, 2500*time.Millisecond, time.Second, 0)
+	fmt.Printf("\n  AcuteMon (db=1s)  → median %7.0f ms  max %7.0f ms   (%d bg packets)\n",
+		stats.Millis(res.RTTs.Median()), stats.Millis(res.RTTs.Max()), res.BackgroundSent)
+	fmt.Println("\nThe 20 s-interval pings pay a ~2 s IDLE→DCH promotion per probe;")
+	fmt.Println("AcuteMon's background trickle pins the modem in DCH and measures the true path.")
+}

@@ -1,0 +1,17 @@
+// drivertrace prints the instrumented driver call chains of the paper's
+// Figures 4 and 5 and the AcuteMon BT/MT timeline of Figure 6, as
+// recorded by the simulation's trace facility.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Options{Seed: 7, Probes: 5, Quick: true}
+	fmt.Println(experiments.Fig4Run(opts))
+	fmt.Println(experiments.Fig5Run(opts))
+	fmt.Println(experiments.Fig6Run(opts))
+}

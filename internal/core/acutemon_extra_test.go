@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+func TestAcuteMonUnderCrossTraffic(t *testing.T) {
+	tb := newTB(30, "", 30*time.Millisecond)
+	tb.StartCrossTraffic()
+	tb.Sim.RunUntil(300 * time.Millisecond)
+	res := New(tb, Config{K: 60}).Run()
+	s := res.Sample()
+	if len(s) < 54 {
+		t.Fatalf("completed %d/60 under load", len(s))
+	}
+	med := stats.Millis(s.Median())
+	// Fig 8(b): shifted right by the congestion but far below the other
+	// tools' ~45ms.
+	if med < 31 || med > 43 {
+		t.Errorf("median under cross traffic = %.2fms", med)
+	}
+}
+
+func TestHTTPGetProbesUnderCrossTraffic(t *testing.T) {
+	tb := newTB(31, "", 30*time.Millisecond)
+	tb.StartCrossTraffic()
+	tb.Sim.RunUntil(300 * time.Millisecond)
+	res := New(tb, Config{K: 40, Probe: ProbeHTTPGet}).Run()
+	if len(res.Sample()) < 34 {
+		t.Fatalf("completed %d/40", len(res.Sample()))
+	}
+}
+
+func TestProbeTimeoutCountsAsLost(t *testing.T) {
+	tb := newTB(32, "", 30*time.Millisecond)
+	// Target a port with no listener: each SYN draws an RST, never a
+	// SYN-ACK, so every probe times out.
+	mon := New(tb, Config{K: 3, TargetPort: 4444, ProbeTimeout: 300 * time.Millisecond})
+	res := mon.Run()
+	if res.Lost != 3 {
+		t.Fatalf("lost = %d, want 3", res.Lost)
+	}
+	if len(res.Sample()) != 0 {
+		t.Fatal("timed-out probes produced samples")
+	}
+	if res.Finished <= res.Started {
+		t.Fatal("run did not finish cleanly")
+	}
+}
+
+func TestSnifferLossDoesNotBreakOverheads(t *testing.T) {
+	// Failure injection: two of the three sniffers dead, the third very
+	// lossy. Overheads can only be computed for probes whose frames were
+	// captured, but the run itself must stay intact.
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = 33
+	cfg.SnifferLoss = 0.6
+	tb := testbed.New(cfg)
+	tb.Sniffers[1].LossProb = 1.0
+	tb.Sniffers[2].LossProb = 1.0
+	res := New(tb, Config{K: 40}).Run()
+	if len(res.Sample()) < 36 {
+		t.Fatalf("probe completion harmed by sniffer loss: %d/40", len(res.Sample()))
+	}
+	_, dkn := OverheadStats(tb, res)
+	if len(dkn) == 0 {
+		t.Fatal("no Δdk−n at all despite 40% capture rate")
+	}
+	if len(dkn) >= 40 {
+		t.Fatal("loss injection had no effect on capture coverage")
+	}
+}
+
+func TestBackgroundIntervalRespected(t *testing.T) {
+	tb := newTB(34, "", 100*time.Millisecond)
+	mon := New(tb, Config{K: 10, BackgroundInterval: 50 * time.Millisecond})
+	res := mon.Run()
+	elapsed := res.Finished - res.Started
+	expected := int(elapsed / (50 * time.Millisecond))
+	if res.BackgroundSent < expected-3 || res.BackgroundSent > expected+3 {
+		t.Fatalf("bg packets = %d over %v, want ≈%d", res.BackgroundSent, elapsed, expected)
+	}
+}
+
+func TestNoBackgroundSendsNothing(t *testing.T) {
+	tb := newTB(35, "", 30*time.Millisecond)
+	res := New(tb, Config{K: 10, NoBackground: true}).Run()
+	if res.BackgroundSent != 0 || res.WarmupsSent != 0 {
+		t.Fatalf("NoBackground leaked traffic: bg=%d warmup=%d", res.BackgroundSent, res.WarmupsSent)
+	}
+}
+
+func TestSequentialRunsOnSameTestbed(t *testing.T) {
+	// Two AcuteMon campaigns back-to-back must not interfere (socket
+	// reuse, ICMP handler leaks, etc).
+	tb := newTB(36, "", 20*time.Millisecond)
+	r1 := New(tb, Config{K: 20}).Run()
+	tb.Sim.RunFor(500 * time.Millisecond)
+	r2 := New(tb, Config{K: 20}).Run()
+	if len(r1.Sample()) < 18 || len(r2.Sample()) < 18 {
+		t.Fatalf("runs interfered: %d, %d", len(r1.Sample()), len(r2.Sample()))
+	}
+	m1 := stats.Millis(r1.Sample().Median())
+	m2 := stats.Millis(r2.Sample().Median())
+	if m1 < 19 || m1 > 26 || m2 < 19 || m2 > 26 {
+		t.Fatalf("medians off: %.2f / %.2f", m1, m2)
+	}
+}
+
+func TestAcuteMonAgainstDalvikAppRuntime(t *testing.T) {
+	// Even when the *app* is a Dalvik app, the MT runs native (§4.1), so
+	// the overhead stays small.
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = 37
+	cfg.Runtime = 1 // android.DalvikVM
+	tb := testbed.New(cfg)
+	res := New(tb, Config{K: 40}).Run()
+	duk, _ := OverheadStats(tb, res)
+	if m := stats.Millis(duk.Median()); m > 1 {
+		t.Errorf("Δdu−k median = %.2fms despite native MT", m)
+	}
+}
+
+func TestToolsAndAcuteMonShareSemantics(t *testing.T) {
+	// AcuteMon's TCP probe and the raw tool layer must agree on the
+	// probe-to-capture mapping (ReqID/RespID populated for every OK
+	// record).
+	tb := newTB(38, "", 30*time.Millisecond)
+	res := New(tb, Config{K: 20}).Run()
+	for _, rec := range res.Records {
+		if !rec.OK {
+			continue
+		}
+		if rec.ReqID == 0 || rec.RespID == 0 {
+			t.Fatalf("record %d missing packet IDs: %+v", rec.Seq, rec)
+		}
+		if rec.RTT <= 0 {
+			t.Fatalf("record %d non-positive RTT", rec.Seq)
+		}
+	}
+	_ = tools.Result{}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// RegistryEntry stores one device model's calibrated energy-saving
+// parameters — the paper's §4.1 "collect the configurations by
+// modelling and building a database" future-work item.
+type RegistryEntry struct {
+	Model   string `json:"model"`
+	Chipset string `json:"chipset,omitempty"`
+	// Tip and Tis are the measured demotion timers.
+	Tip time.Duration `json:"tip_ns"`
+	Tis time.Duration `json:"tis_ns"`
+	// Warmup (dpre) and Interval (db) are the derived AcuteMon settings.
+	Warmup   time.Duration `json:"warmup_ns"`
+	Interval time.Duration `json:"interval_ns"`
+	// Samples records how many Tip observations backed the entry.
+	Samples int `json:"samples"`
+}
+
+// Validate reports whether the entry is usable.
+func (e RegistryEntry) Validate() error {
+	if e.Model == "" {
+		return fmt.Errorf("registry: entry without model")
+	}
+	if e.Interval <= 0 || e.Warmup <= 0 {
+		return fmt.Errorf("registry: %s: non-positive dpre/db", e.Model)
+	}
+	min := e.Tip
+	if e.Tis > 0 && e.Tis < min {
+		min = e.Tis
+	}
+	if min > 0 && e.Interval >= min {
+		return fmt.Errorf("registry: %s: db %v violates db < min(Tis,Tip) = %v", e.Model, e.Interval, min)
+	}
+	return nil
+}
+
+// Registry is a per-model calibration database.
+type Registry struct {
+	entries map[string]RegistryEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: make(map[string]RegistryEntry)} }
+
+// Put inserts or replaces an entry after validation.
+func (r *Registry) Put(e RegistryEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	r.entries[e.Model] = e
+	return nil
+}
+
+// Get looks an entry up by exact model name.
+func (r *Registry) Get(model string) (RegistryEntry, bool) {
+	e, ok := r.entries[model]
+	return e, ok
+}
+
+// Models lists the stored models, sorted.
+func (r *Registry) Models() []string {
+	out := make([]string, 0, len(r.entries))
+	for m := range r.entries {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of entries.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// ConfigFor returns an AcuteMon Config preloaded with the stored
+// dpre/db for the model.
+func (r *Registry) ConfigFor(model string, base Config) (Config, bool) {
+	e, ok := r.entries[model]
+	if !ok {
+		return base, false
+	}
+	base.WarmupDelay = e.Warmup
+	base.BackgroundInterval = e.Interval
+	return base, true
+}
+
+// Save serializes the registry as JSON.
+func (r *Registry) Save(w io.Writer) error {
+	entries := make([]RegistryEntry, 0, len(r.entries))
+	for _, m := range r.Models() {
+		entries = append(entries, r.entries[m])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// LoadRegistry parses a registry from JSON, validating every entry.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var entries []RegistryEntry
+	if err := json.NewDecoder(rd).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("registry: decoding: %w", err)
+	}
+	r := NewRegistry()
+	for _, e := range entries {
+		if err := r.Put(e); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// CalibrateInto runs the calibration procedure on the testbed's phone
+// and stores the result under its model name.
+func (r *Registry) CalibrateInto(tb *testbed.Testbed, opts CalibrateOptions) (RegistryEntry, error) {
+	cal := Calibrate(tb, opts)
+	e := RegistryEntry{
+		Model:    tb.Phone.Profile.Model,
+		Chipset:  tb.Phone.Profile.Chipset,
+		Tip:      cal.Tip,
+		Tis:      cal.Tis,
+		Warmup:   cal.RecommendedWarmup,
+		Interval: cal.RecommendedInterval,
+		Samples:  len(cal.TipSamples),
+	}
+	if err := r.Put(e); err != nil {
+		return e, err
+	}
+	return e, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validEntry() RegistryEntry {
+	return RegistryEntry{
+		Model: "Google Nexus 5", Chipset: "BCM4339",
+		Tip: 205 * time.Millisecond, Tis: 50 * time.Millisecond,
+		Warmup: 20 * time.Millisecond, Interval: 20 * time.Millisecond,
+		Samples: 8,
+	}
+}
+
+func TestRegistryPutGet(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Put(validEntry()); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Get("Google Nexus 5")
+	if !ok || e.Tip != 205*time.Millisecond {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := r.Get("iPhone"); ok {
+		t.Fatal("found nonexistent entry")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []RegistryEntry{
+		{},           // no model
+		{Model: "X"}, // zero db/dpre
+		{Model: "X", Warmup: 1, Interval: 60 * time.Millisecond, Tis: 50 * time.Millisecond, Tip: 200 * time.Millisecond}, // db >= Tis
+	}
+	for i, e := range bad {
+		if err := r.Put(e); err == nil {
+			t.Errorf("entry %d accepted: %+v", i, e)
+		}
+	}
+}
+
+func TestRegistrySaveLoadRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	e1 := validEntry()
+	e2 := validEntry()
+	e2.Model = "Google Nexus 4"
+	e2.Tip = 40 * time.Millisecond
+	e2.Interval = 15 * time.Millisecond
+	e2.Warmup = 15 * time.Millisecond
+	if err := r.Put(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegistry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	got, _ := loaded.Get("Google Nexus 4")
+	if got.Tip != 40*time.Millisecond || got.Interval != 15*time.Millisecond {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	models := loaded.Models()
+	if len(models) != 2 || models[0] != "Google Nexus 4" {
+		t.Fatalf("models = %v", models)
+	}
+}
+
+func TestLoadRejectsCorruptJSON(t *testing.T) {
+	if _, err := LoadRegistry(strings.NewReader("{not json")); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	// Valid JSON, invalid entry.
+	if _, err := LoadRegistry(strings.NewReader(`[{"model":"X"}]`)); err == nil {
+		t.Fatal("invalid entry accepted")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Put(validEntry()); err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := r.ConfigFor("Google Nexus 5", Config{K: 50})
+	if !ok {
+		t.Fatal("ConfigFor miss")
+	}
+	if cfg.WarmupDelay != 20*time.Millisecond || cfg.BackgroundInterval != 20*time.Millisecond || cfg.K != 50 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, ok := r.ConfigFor("unknown", Config{}); ok {
+		t.Fatal("ConfigFor hit for unknown model")
+	}
+}
+
+func TestCalibrateIntoBuildsDatabase(t *testing.T) {
+	r := NewRegistry()
+	for _, phone := range []string{"Google Nexus 4", "Google Nexus 5"} {
+		tb := newTB(int64(len(phone)), phone, 30*time.Millisecond)
+		e, err := r.CalibrateInto(tb, CalibrateOptions{TipRounds: 4, PairsPerGap: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", phone, err)
+		}
+		if e.Samples < 3 {
+			t.Errorf("%s: only %d Tip samples", phone, e.Samples)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("registry has %d entries", r.Len())
+	}
+	// The database then drives a measurement without re-calibrating.
+	tb := newTB(99, "Google Nexus 4", 60*time.Millisecond)
+	cfg, ok := r.ConfigFor("Google Nexus 4", Config{K: 30})
+	if !ok {
+		t.Fatal("no stored config for Nexus 4")
+	}
+	tb.Sim.RunUntil(300 * time.Millisecond)
+	res := New(tb, cfg).Run()
+	if len(res.Sample()) < 27 {
+		t.Fatalf("completed %d/30", len(res.Sample()))
+	}
+	med := res.Sample().Median()
+	if med < 60*time.Millisecond || med > 66*time.Millisecond {
+		t.Fatalf("median = %v, want ≈61-64ms (no PSM inflation)", med)
+	}
+}

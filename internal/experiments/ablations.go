@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+// AblationPing2Row compares ping2 against AcuteMon at one path length.
+type AblationPing2Row struct {
+	Emulated time.Duration
+	// Ping2Err / AcuteErr are the median measurement errors
+	// (measured − emulated).
+	Ping2Err, AcuteErr time.Duration
+}
+
+// AblationPing2 sweeps the emulated RTT and reproduces the paper's
+// related-work claim (§1): ping2 works only for short nRTT, because on
+// long paths the phone falls back to the inactive state before the
+// second probe arrives. The phone is a Nexus 4 (Tip = 40 ms), the case
+// the argument hinges on.
+func AblationPing2(opts Options) []AblationPing2Row {
+	opts.fill()
+	rounds := opts.probes() / 2
+	if rounds < 10 {
+		rounds = 10
+	}
+	var rows []AblationPing2Row
+	cell := int64(800)
+	for _, rtt := range []time.Duration{10, 20, 35, 60, 100, 150, 250} {
+		rtt := rtt * time.Millisecond
+		cell++
+		tbP := newTB(opts.subSeed(cell), "Google Nexus 4", rtt, nil)
+		tbP.Sim.RunUntil(500 * time.Millisecond)
+		p2 := tools.Ping2(tbP, tools.Ping2Options{Rounds: rounds, Gap: time.Second})
+
+		tbA := newTB(opts.subSeed(cell+1000), "Google Nexus 4", rtt, nil)
+		tbA.Sim.RunUntil(500 * time.Millisecond)
+		am := core.New(tbA, core.Config{K: rounds}).Run()
+
+		rows = append(rows, AblationPing2Row{
+			Emulated: rtt,
+			Ping2Err: p2.Sample().Median() - rtt,
+			AcuteErr: am.Sample().Median() - rtt,
+		})
+	}
+	return rows
+}
+
+// RenderAblationPing2 prints the sweep.
+func RenderAblationPing2(rows []AblationPing2Row) string {
+	t := report.NewTable("Ablation A1: median measurement error vs path RTT (Nexus 4, Tip=40ms).",
+		"emulated RTT", "ping2 error", "AcuteMon error")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dms", r.Emulated/time.Millisecond),
+			fmt.Sprintf("%+.2fms", stats.Millis(r.Ping2Err)),
+			fmt.Sprintf("%+.2fms", stats.Millis(r.AcuteErr)))
+	}
+	return t.String()
+}
+
+// AblationDBRow is one background-interval sweep point.
+type AblationDBRow struct {
+	DB             time.Duration
+	MedianOverhead time.Duration
+	BackgroundSent int
+}
+
+// AblationDB sweeps db. The design invariant db < min(Tis, Tip) predicts
+// a cliff once db exceeds the Nexus 5's Tis of 50 ms: background packets
+// then arrive too late to keep the SDIO bus awake.
+func AblationDB(opts Options) []AblationDBRow {
+	opts.fill()
+	var rows []AblationDBRow
+	cell := int64(900)
+	for _, db := range []time.Duration{5, 10, 20, 30, 40, 60, 80, 120} {
+		db := db * time.Millisecond
+		cell++
+		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 85*time.Millisecond, nil)
+		tb.Sim.RunUntil(300 * time.Millisecond)
+		res := core.New(tb, core.Config{K: opts.probes(), BackgroundInterval: db}).Run()
+		duk, dkn := core.OverheadStats(tb, res)
+		rows = append(rows, AblationDBRow{
+			DB:             db,
+			MedianOverhead: duk.Median() + dkn.Median(),
+			BackgroundSent: res.BackgroundSent,
+		})
+	}
+	return rows
+}
+
+// RenderAblationDB prints the sweep.
+func RenderAblationDB(rows []AblationDBRow) string {
+	t := report.NewTable("Ablation A2: background interval db vs overhead (Nexus 5, 85ms path, Tis=50ms).",
+		"db", "median overhead", "bg packets")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dms", r.DB/time.Millisecond),
+			fmt.Sprintf("%.2fms", stats.Millis(r.MedianOverhead)),
+			fmt.Sprintf("%d", r.BackgroundSent))
+	}
+	return t.String()
+}
+
+// AblationDpreRow is one warm-up delay sweep point.
+type AblationDpreRow struct {
+	Dpre time.Duration
+	// FirstProbeOverhead is the median excess of the first probe's RTT
+	// over the run's steady-state median: the penalty for probing before
+	// the bus promotion (Tprom) completes.
+	FirstProbeOverhead time.Duration
+}
+
+// AblationDpre sweeps dpre across repeated runs. The design constraint
+// Tprom < dpre means values below the ~10 ms SDIO promotion delay leave
+// the first probe racing the bus wake-up.
+func AblationDpre(opts Options) []AblationDpreRow {
+	opts.fill()
+	reps := 12
+	if opts.Quick {
+		reps = 6
+	}
+	var rows []AblationDpreRow
+	cell := int64(1000)
+	for _, dpre := range []time.Duration{1, 3, 6, 12, 20, 40} {
+		dpre := dpre * time.Millisecond
+		var firsts stats.Sample
+		for r := 0; r < reps; r++ {
+			cell++
+			tb := newTB(opts.subSeed(cell), "Google Nexus 5", 50*time.Millisecond, nil)
+			tb.Sim.RunUntil(500 * time.Millisecond) // idle: bus asleep
+			res := core.New(tb, core.Config{K: 10, WarmupDelay: dpre}).Run()
+			s := res.Sample()
+			if len(s) < 5 || !res.Records[0].OK {
+				continue
+			}
+			firsts = append(firsts, res.Records[0].RTT-s.Median())
+		}
+		rows = append(rows, AblationDpreRow{Dpre: dpre, FirstProbeOverhead: firsts.Median()})
+	}
+	return rows
+}
+
+// RenderAblationDpre prints the sweep.
+func RenderAblationDpre(rows []AblationDpreRow) string {
+	t := report.NewTable("Ablation A3: warm-up delay dpre vs first-probe penalty (Nexus 5, Tprom≈10ms).",
+		"dpre", "first-probe excess (median)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dms", r.Dpre/time.Millisecond),
+			fmt.Sprintf("%+.2fms", stats.Millis(r.FirstProbeOverhead)))
+	}
+	return t.String()
+}
+
+// AblationIdletimeRow is one driver idletime sweep point.
+type AblationIdletimeRow struct {
+	Idletime   int
+	IdlePeriod time.Duration
+	// MeanDu is plain ping's mean user RTT at a 200 ms probe interval.
+	MeanDu time.Duration
+}
+
+// AblationIdletime sweeps the bcmdhd idletime parameter (watchdog ticks
+// before bus demotion, default 5): it moves the §3.2.1 cliff, shown
+// with 200 ms-interval pings on a 30 ms path.
+func AblationIdletime(opts Options) []AblationIdletimeRow {
+	opts.fill()
+	var rows []AblationIdletimeRow
+	cell := int64(1100)
+	for _, idle := range []int{1, 2, 5, 10, 20, 30} {
+		idle := idle
+		cell++
+		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+			c.ModifyDriver = func(d *driver.Config) { d.Bus.IdleTime = idle }
+		})
+		res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: 200 * time.Millisecond})
+		rows = append(rows, AblationIdletimeRow{
+			Idletime:   idle,
+			IdlePeriod: time.Duration(idle) * 10 * time.Millisecond,
+			MeanDu:     res.Sample().Mean(),
+		})
+	}
+	return rows
+}
+
+// RenderAblationIdletime prints the sweep.
+func RenderAblationIdletime(rows []AblationIdletimeRow) string {
+	t := report.NewTable("Ablation A4: driver idletime vs ping RTT (Nexus 5, 30ms path, 200ms interval).",
+		"idletime", "idle period", "mean du")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Idletime),
+			fmt.Sprintf("%dms", r.IdlePeriod/time.Millisecond),
+			fmt.Sprintf("%.2fms", stats.Millis(r.MeanDu)))
+	}
+	return t.String()
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+// Fig3Box is one box of Figure 3.
+type Fig3Box struct {
+	Label string // e.g. "N5(1s)"
+	Kind  string // "dk-n" or "du-k"
+	RTT   time.Duration
+	Box   stats.Boxplot
+}
+
+// Fig3Run derives Figure 3 from the Table 2 cells: box plots of Δdk−n
+// and Δdu−k for Nexus 4 and 5 at both intervals and emulated RTTs.
+func Fig3Run(opts Options) []Fig3Box {
+	cells := Table2Run(opts)
+	short := map[string]string{"Google Nexus 4": "N4", "Google Nexus 5": "N5"}
+	var boxes []Fig3Box
+	for _, c := range cells {
+		label := fmt.Sprintf("%s(%s)", short[c.Phone], fmtInterval(c.Interval))
+		boxes = append(boxes,
+			Fig3Box{Label: label, Kind: "dk-n", RTT: c.RTT, Box: c.DeltaKN.Box()},
+			Fig3Box{Label: label, Kind: "du-k", RTT: c.RTT, Box: c.DeltaUK.Box()})
+	}
+	return boxes
+}
+
+// RenderFig3 prints the four panels of Figure 3.
+func RenderFig3(boxes []Fig3Box) string {
+	var b strings.Builder
+	panel := func(kind string, rtt time.Duration, lo, hi time.Duration) {
+		fmt.Fprintf(&b, "Fig 3 panel: Δ%s, emulated RTT %v\n", kind, rtt)
+		for _, bx := range boxes {
+			if bx.Kind != kind || bx.RTT != rtt {
+				continue
+			}
+			b.WriteString(report.RenderBox(bx.Label, bx.Box, lo, hi, 48))
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	panel("dk-n", 30*time.Millisecond, 0, 25*time.Millisecond)
+	panel("du-k", 30*time.Millisecond, -time.Millisecond, time.Millisecond)
+	panel("dk-n", 60*time.Millisecond, 0, 25*time.Millisecond)
+	panel("du-k", 60*time.Millisecond, -time.Millisecond, time.Millisecond)
+	return b.String()
+}
+
+// Fig4Run produces the instrumented send-path call chain (Figure 4) by
+// tracing one bus-asleep transmission on the Nexus 5.
+func Fig4Run(opts Options) string {
+	opts.fill()
+	tb := newTB(opts.subSeed(400), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+		c.TraceCap = 10000
+	})
+	tb.Sim.RunUntil(300 * time.Millisecond) // let the bus sleep
+	tb.Phone.Stack.SendEcho(testbed.ServerIP, 0xF4, 1, 56)
+	tb.Sim.RunFor(100 * time.Millisecond)
+	return "Fig 4: packet sending call chain (bcmdhd)\n" +
+		tb.Trace.RenderCallChain("tx") + tb.Trace.RenderCallChain("dpc")
+}
+
+// Fig5Run produces the receive-path call chain (Figure 5).
+func Fig5Run(opts Options) string {
+	opts.fill()
+	tb := newTB(opts.subSeed(401), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+		c.TraceCap = 10000
+	})
+	tb.Sim.RunUntil(300 * time.Millisecond)
+	tb.Phone.Stack.OnICMP(0xF5, func(*packet.ICMP, *packet.Packet, time.Duration) {})
+	tb.Phone.Stack.SendEcho(testbed.ServerIP, 0xF5, 1, 56)
+	tb.Sim.RunFor(200 * time.Millisecond)
+	return "Fig 5: packet receiving call chain (bcmdhd)\n" +
+		tb.Trace.RenderCallChain("isr") + tb.Trace.RenderCallChain("dpc") + tb.Trace.RenderCallChain("rxf")
+}
+
+// Fig6Run produces the AcuteMon measurement timeline (Figure 6).
+func Fig6Run(opts Options) string {
+	opts.fill()
+	tb := newTB(opts.subSeed(402), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+		c.TraceCap = 50000
+	})
+	mon := core.New(tb, core.Config{K: 5})
+	mon.Run()
+	var b strings.Builder
+	b.WriteString("Fig 6: AcuteMon measurement process (BT + MT timeline)\n")
+	for _, actor := range []string{"BT", "MT"} {
+		for _, e := range tb.Trace.Filter(actor) {
+			fmt.Fprintf(&b, "%10v  [%s] %s %s\n", e.At, e.Actor, e.Name, e.Attrs)
+		}
+	}
+	return b.String()
+}
+
+// Fig7Box is one box of Figure 7.
+type Fig7Box struct {
+	Phone string
+	RTT   time.Duration
+	Kind  string // "du-k" or "dk-n"
+	Box   stats.Boxplot
+}
+
+// Fig7Run measures AcuteMon's per-layer overheads on three phones and
+// four emulated RTTs (the paper shows N5, Grand, N4).
+func Fig7Run(opts Options) []Fig7Box {
+	opts.fill()
+	var boxes []Fig7Box
+	cell := int64(500)
+	for _, phone := range Fig7Phones {
+		for _, rtt := range Table5RTTs {
+			cell++
+			tb := newTB(opts.subSeed(cell), phone, rtt, nil)
+			tb.Sim.RunUntil(300 * time.Millisecond)
+			res := core.New(tb, core.Config{K: opts.probes()}).Run()
+			duk, dkn := core.OverheadStats(tb, res)
+			boxes = append(boxes,
+				Fig7Box{Phone: phone, RTT: rtt, Kind: "du-k", Box: duk.Box()},
+				Fig7Box{Phone: phone, RTT: rtt, Kind: "dk-n", Box: dkn.Box()})
+		}
+	}
+	return boxes
+}
+
+// RenderFig7 prints Figure 7's three panels.
+func RenderFig7(boxes []Fig7Box) string {
+	var b strings.Builder
+	for _, phone := range Fig7Phones {
+		fmt.Fprintf(&b, "Fig 7: AcuteMon delay overheads — %s\n", phone)
+		for _, bx := range boxes {
+			if bx.Phone != phone {
+				continue
+			}
+			label := fmt.Sprintf("%dms(%s)", bx.RTT/time.Millisecond, map[string]string{"du-k": "u", "dk-n": "k"}[bx.Kind])
+			b.WriteString(report.RenderBox(label, bx.Box, 0, 5*time.Millisecond, 48))
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig8Series is one CDF curve of Figure 8.
+type Fig8Series struct {
+	Tool  string
+	Cross bool
+	RTTs  stats.Sample
+}
+
+// Fig8Run compares AcuteMon with ping, httping, and Java ping on a 30 ms
+// path, with and without iPerf cross traffic (§4.3).
+func Fig8Run(opts Options) []Fig8Series {
+	opts.fill()
+	const rtt = 30 * time.Millisecond
+	var out []Fig8Series
+	cell := int64(600)
+	for _, cross := range []bool{false, true} {
+		for _, tool := range []string{"AcuteMon", "httping", "ping", "Java ping"} {
+			cell++
+			tb := newTB(opts.subSeed(cell), "Google Nexus 5", rtt, nil)
+			if cross {
+				tb.StartCrossTraffic()
+			}
+			tb.Sim.RunUntil(300 * time.Millisecond)
+			var s stats.Sample
+			switch tool {
+			case "AcuteMon":
+				res := core.New(tb, core.Config{K: opts.probes()}).Run()
+				s = res.Sample()
+			case "httping":
+				res := tools.HTTPing(tb, tools.HTTPingOptions{Count: opts.probes(), Interval: time.Second})
+				s = res.Sample()
+			case "ping":
+				res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: time.Second})
+				s = res.Sample()
+			case "Java ping":
+				res := tools.JavaPing(tb, tools.JavaPingOptions{Count: opts.probes(), Interval: time.Second})
+				s = res.Sample()
+			}
+			out = append(out, Fig8Series{Tool: tool, Cross: cross, RTTs: s})
+		}
+	}
+	return out
+}
+
+// RenderFig8 prints the two CDF panels of Figure 8.
+func RenderFig8(series []Fig8Series) string {
+	var b strings.Builder
+	for _, cross := range []bool{false, true} {
+		title := "Fig 8(a): CDF of measured RTTs, no cross traffic"
+		if cross {
+			title = "Fig 8(b): CDF of measured RTTs, with cross traffic"
+		}
+		var labels []string
+		var cdfs []*stats.ECDF
+		for _, s := range series {
+			if s.Cross != cross {
+				continue
+			}
+			labels = append(labels, s.Tool)
+			cdfs = append(cdfs, stats.NewECDF(s.RTTs))
+		}
+		b.WriteString(report.CDFGrid(title, labels, cdfs))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig9Series is one curve of Figure 9.
+type Fig9Series struct {
+	Label string
+	RTTs  stats.Sample
+}
+
+// Fig9Run isolates the background traffic's own impact (§4.4): bus sleep
+// disabled in the driver, 30 ms path, cross traffic on; AcuteMon with
+// and without BT, plus a no-cross-traffic reference.
+func Fig9Run(opts Options) []Fig9Series {
+	opts.fill()
+	run := func(cell int64, cross, noBG bool) stats.Sample {
+		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+			c.DisableBusSleep = true
+		})
+		if cross {
+			tb.StartCrossTraffic()
+		}
+		tb.Sim.RunUntil(300 * time.Millisecond)
+		res := core.New(tb, core.Config{K: opts.probes(), NoBackground: noBG}).Run()
+		return res.Sample()
+	}
+	return []Fig9Series{
+		{Label: "With BG traffic", RTTs: run(700, true, false)},
+		{Label: "Without BG traffic", RTTs: run(701, true, true)},
+		{Label: "No cross traffic", RTTs: run(702, false, false)},
+	}
+}
+
+// RenderFig9 prints Figure 9's CDF comparison.
+func RenderFig9(series []Fig9Series) string {
+	var labels []string
+	var cdfs []*stats.ECDF
+	for _, s := range series {
+		labels = append(labels, s.Label)
+		cdfs = append(cdfs, stats.NewECDF(s.RTTs))
+	}
+	return report.CDFGrid("Fig 9: AcuteMon with/without background traffic (bus sleep disabled, cross traffic)", labels, cdfs)
+}

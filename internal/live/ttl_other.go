@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package live
+
+import (
+	"errors"
+	"net"
+)
+
+// setTTL is unavailable on this platform; background packets are sent
+// with the default TTL and the Result notes TTLLimited=false.
+func setTTL(*net.UDPConn, int) error {
+	return errors.New("live: TTL control not supported on this platform")
+}

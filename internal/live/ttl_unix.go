@@ -1,0 +1,26 @@
+//go:build linux || darwin
+
+package live
+
+import (
+	"net"
+	"syscall"
+)
+
+// setTTL restricts the IPv4 TTL on a UDP socket so background packets
+// die at the first-hop router (§4.1). Only unix-like platforms expose
+// the sockopt through the standard library.
+func setTTL(c *net.UDPConn, ttl int) error {
+	raw, err := c.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	err = raw.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_TTL, ttl)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,326 @@
+// Package medium simulates the shared 802.11g radio channel of the
+// paper's testbed (Fig. 2): one collision domain containing the phone,
+// the wireless load generator, and the AP, observed promiscuously by the
+// external sniffers.
+//
+// The model is a simplified DCF: at most one frame occupies the channel
+// at a time; stations with queued frames contend whenever the channel
+// goes idle; the winner pays DIFS plus a random backoff, transmits for
+// the frame's airtime, and unicast data is followed by SIFS + ACK. When
+// several stations contend, access attempts collide with a probability
+// that grows with the number of contenders, wasting the frame's airtime
+// and doubling the loser's contention window — the mechanism that lets
+// the iPerf cross traffic of §4.3 inflate and spread the measured RTTs.
+package medium
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/simtime"
+)
+
+// Station is a node attached to the radio channel.
+type Station interface {
+	// MAC returns the station's link-layer address.
+	MAC() packet.MACAddr
+	// RadioOn reports whether the receiver is powered (false while a PSM
+	// station dozes). Frames unicast to a powered-off radio fail.
+	RadioOn() bool
+	// DeliverFrame hands the station a frame at the end of its airtime.
+	DeliverFrame(p *packet.Packet)
+}
+
+// Tap observes every frame on the air, like the paper's wireless
+// sniffers. Taps see frames regardless of destination or radio states.
+type Tap interface {
+	CaptureFrame(p *packet.Packet, airStart, airEnd time.Duration)
+}
+
+// TxResult reports the outcome of a transmission to its initiator.
+type TxResult int
+
+// Transmission outcomes.
+const (
+	// TxOK: frame delivered (and acked, for unicast).
+	TxOK TxResult = iota
+	// TxNoReceiver: no ACK — the destination is unknown or its radio was
+	// off. The AP uses this to re-buffer frames for dozing stations.
+	TxNoReceiver
+	// TxDroppedQueue: the sender's device queue was full.
+	TxDroppedQueue
+	// TxDroppedRetries: retry limit exceeded (persistent collisions).
+	TxDroppedRetries
+)
+
+// String implements fmt.Stringer.
+func (r TxResult) String() string {
+	switch r {
+	case TxOK:
+		return "ok"
+	case TxNoReceiver:
+		return "no-receiver"
+	case TxDroppedQueue:
+		return "dropped-queue"
+	case TxDroppedRetries:
+		return "dropped-retries"
+	default:
+		return fmt.Sprintf("TxResult(%d)", int(r))
+	}
+}
+
+type txJob struct {
+	src     Station
+	frame   *packet.Packet
+	retries int
+	done    func(TxResult)
+}
+
+// Options tune the medium model.
+type Options struct {
+	// QueueCap bounds each station's transmit queue (device ring).
+	QueueCap int
+	// MaxRetries bounds collision retries per frame.
+	MaxRetries int
+	// CollisionProbPerContender scales collision probability: with n
+	// contending stations, p = CollisionProbPerContender × (n−1), capped
+	// at CollisionProbCap.
+	CollisionProbPerContender float64
+	CollisionProbCap          float64
+}
+
+// DefaultOptions returns the values used by the simulated testbed.
+func DefaultOptions() Options {
+	return Options{
+		QueueCap:                  128,
+		MaxRetries:                7,
+		CollisionProbPerContender: 0.18,
+		CollisionProbCap:          0.45,
+	}
+}
+
+// Medium is the shared channel. All methods must be called from the
+// simulation event loop.
+type Medium struct {
+	sim  *simtime.Sim
+	phy  phy.Params
+	opts Options
+
+	stations map[packet.MACAddr]Station
+	order    []packet.MACAddr
+	queues   map[packet.MACAddr][]*txJob
+	taps     []Tap
+
+	busy bool
+
+	// Stats accumulate over the run for tests and reports.
+	Stats Stats
+}
+
+// Stats counts medium-level events.
+type Stats struct {
+	FramesDelivered uint64
+	FramesNoRecv    uint64
+	FramesDropped   uint64
+	Collisions      uint64
+	BusyTime        time.Duration
+	BytesDelivered  uint64
+}
+
+// New creates a medium over the given PHY.
+func New(sim *simtime.Sim, params phy.Params, opts Options) *Medium {
+	return &Medium{
+		sim:      sim,
+		phy:      params,
+		opts:     opts,
+		stations: make(map[packet.MACAddr]Station),
+		queues:   make(map[packet.MACAddr][]*txJob),
+	}
+}
+
+// Phy returns the PHY parameters in use.
+func (m *Medium) Phy() phy.Params { return m.phy }
+
+// Attach joins a station to the channel.
+func (m *Medium) Attach(st Station) {
+	mac := st.MAC()
+	if _, dup := m.stations[mac]; dup {
+		panic(fmt.Sprintf("medium: duplicate station %s", mac))
+	}
+	m.stations[mac] = st
+	m.order = append(m.order, mac)
+}
+
+// AttachTap adds a promiscuous observer.
+func (m *Medium) AttachTap(t Tap) { m.taps = append(m.taps, t) }
+
+// QueueLen returns the given station's transmit backlog.
+func (m *Medium) QueueLen(mac packet.MACAddr) int { return len(m.queues[mac]) }
+
+// Transmit queues a frame for transmission. done (may be nil) is invoked
+// once with the outcome. Priority frames (beacons) jump the queue.
+func (m *Medium) Transmit(src Station, frame *packet.Packet, priority bool, done func(TxResult)) {
+	if frame.Dot11() == nil {
+		panic("medium: transmit of frame without 802.11 header")
+	}
+	q := m.queues[src.MAC()]
+	if len(q) >= m.opts.QueueCap {
+		m.Stats.FramesDropped++
+		if done != nil {
+			done(TxDroppedQueue)
+		}
+		return
+	}
+	job := &txJob{src: src, frame: frame, done: done}
+	if priority {
+		m.queues[src.MAC()] = append([]*txJob{job}, q...)
+	} else {
+		m.queues[src.MAC()] = append(q, job)
+	}
+	m.kick()
+}
+
+// kick starts a channel access round if the medium is idle.
+func (m *Medium) kick() {
+	if m.busy {
+		return
+	}
+	contenders := m.contenders()
+	if len(contenders) == 0 {
+		return
+	}
+	m.busy = true
+
+	winner := contenders[m.sim.Rand().Intn(len(contenders))]
+	// Dequeue the job now: frames that arrive mid-transmission (even
+	// priority ones) must queue behind the frame already on the air.
+	job := m.queues[winner][0]
+	m.queues[winner] = m.queues[winner][1:]
+
+	collided := false
+	if n := len(contenders); n > 1 {
+		p := m.opts.CollisionProbPerContender * float64(n-1)
+		if p > m.opts.CollisionProbCap {
+			p = m.opts.CollisionProbCap
+		}
+		collided = m.sim.Rand().Float64() < p
+	}
+
+	access := m.phy.DIFS() + m.backoff(job.retries)
+	airtime := m.frameAirtime(job.frame)
+	busyFor := access + airtime
+	d11 := job.frame.Dot11()
+	unicast := !d11.Addr1.IsBroadcast()
+	if unicast && !collided {
+		busyFor += m.phy.SIFS + m.phy.AckTime()
+	}
+	start := m.sim.Now() + access
+	end := start + airtime
+
+	m.Stats.BusyTime += busyFor
+	m.sim.Schedule(busyFor, func() {
+		m.busy = false
+		if collided {
+			m.Stats.Collisions++
+			job.retries++
+			if job.retries > m.opts.MaxRetries {
+				m.Stats.FramesDropped++
+				if job.done != nil {
+					job.done(TxDroppedRetries)
+				}
+			} else {
+				// Retry keeps its place at the head of the queue.
+				m.queues[winner] = append([]*txJob{job}, m.queues[winner]...)
+			}
+			m.kick()
+			return
+		}
+		m.complete(job, start, end)
+		m.kick()
+	})
+}
+
+func (m *Medium) contenders() []packet.MACAddr {
+	var out []packet.MACAddr
+	for _, mac := range m.order {
+		if len(m.queues[mac]) > 0 {
+			out = append(out, mac)
+		}
+	}
+	return out
+}
+
+// backoff draws a uniform backoff from a window doubled per retry.
+func (m *Medium) backoff(retries int) time.Duration {
+	cw := m.phy.CWmin
+	for i := 0; i < retries; i++ {
+		cw = cw*2 + 1
+		if cw >= m.phy.CWmax {
+			cw = m.phy.CWmax
+			break
+		}
+	}
+	slots := m.sim.Rand().Intn(cw + 1)
+	return time.Duration(slots) * m.phy.SlotTime
+}
+
+func (m *Medium) frameAirtime(p *packet.Packet) time.Duration {
+	d11 := p.Dot11()
+	rate := m.phy.DataRate
+	if d11.Type == phyControlType || d11.IsBeacon() {
+		rate = m.phy.ControlRate
+	}
+	return m.phy.Airtime(p.Length(), rate)
+}
+
+// phyControlType mirrors packet.Dot11Control without importing the
+// constant into the airtime decision twice.
+const phyControlType = packet.Dot11Control
+
+// complete delivers a successfully transmitted frame.
+func (m *Medium) complete(job *txJob, airStart, airEnd time.Duration) {
+	frame := job.frame
+	for _, t := range m.taps {
+		t.CaptureFrame(frame.Clone(), airStart, airEnd)
+	}
+	d11 := frame.Dot11()
+	if d11.Addr1.IsBroadcast() {
+		for mac, st := range m.stations {
+			if mac == job.src.MAC() || !st.RadioOn() {
+				continue
+			}
+			st.DeliverFrame(frame.Clone())
+		}
+		m.Stats.FramesDelivered++
+		m.Stats.BytesDelivered += uint64(frame.Length())
+		if job.done != nil {
+			job.done(TxOK)
+		}
+		return
+	}
+	dst, ok := m.stations[d11.Addr1]
+	if !ok || !dst.RadioOn() {
+		m.Stats.FramesNoRecv++
+		if job.done != nil {
+			job.done(TxNoReceiver)
+		}
+		return
+	}
+	dst.DeliverFrame(frame)
+	m.Stats.FramesDelivered++
+	m.Stats.BytesDelivered += uint64(frame.Length())
+	if job.done != nil {
+		job.done(TxOK)
+	}
+}
+
+// Utilization returns the fraction of elapsed virtual time the channel
+// was busy.
+func (m *Medium) Utilization() float64 {
+	if m.sim.Now() == 0 {
+		return 0
+	}
+	return float64(m.Stats.BusyTime) / float64(m.sim.Now())
+}

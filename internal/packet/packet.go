@@ -1,0 +1,289 @@
+// Package packet models the frames and datagrams that flow through the
+// simulated testbed. The design follows gopacket's layering idiom: a
+// Packet is a stack of Layers (802.11 → IPv4 → ICMP/UDP/TCP → payload),
+// each Layer knows its LayerType, and packets can be serialized to wire
+// bytes and decoded back, checksums included.
+//
+// On top of the gopacket-style core, every Packet carries a timestamp
+// Ledger with one slot per measurement vantage point of the paper's §2.1
+// (tou, tok, tov, ton on the send path; tin, tiv, tik, tiu on the receive
+// path). The instrumented layers of the simulated phone fill the ledger
+// in exactly the way the authors patched timestamping into the Android
+// kernel, driver, and external sniffers.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LayerType identifies a protocol layer, mirroring gopacket.LayerType.
+type LayerType int
+
+// The layer types used in the testbed.
+const (
+	LayerTypeDot11 LayerType = iota + 1
+	LayerTypeBeacon
+	LayerTypeIPv4
+	LayerTypeICMP
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypePayload
+)
+
+// String implements fmt.Stringer.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeDot11:
+		return "Dot11"
+	case LayerTypeBeacon:
+		return "Beacon"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeICMP:
+		return "ICMP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Layer is one protocol layer of a packet.
+type Layer interface {
+	// LayerType returns the layer's type tag.
+	LayerType() LayerType
+	// HeaderLen returns the serialized length of this layer's header (for
+	// Payload, the payload length) in bytes.
+	HeaderLen() int
+}
+
+// Point is a measurement vantage point in the paper's delay model
+// (Fig. 1). Send-path points describe the probe leaving the phone;
+// receive-path points describe the response entering it.
+type Point int
+
+// Vantage points, in path order.
+const (
+	PointUserSend   Point = iota // tou: measurement app sends
+	PointKernelSend              // tok: kernel/bpf sees outgoing packet
+	PointDriverSend              // tov: WNIC driver dhd_start_xmit entry
+	PointBusSend                 // bus handed to firmware (dhdsdio_txpkt)
+	PointAirSend                 // ton: frame on the air (sniffer)
+	PointAirRecv                 // tin: response on the air (sniffer)
+	PointBusRecv                 // device interrupt raised (dhdsdio_isr)
+	PointDriverRecv              // tiv: driver hands frame up (dhd_rxf_enqueue)
+	PointKernelRecv              // tik: kernel/bpf sees incoming packet
+	PointUserRecv                // tiu: measurement app receives
+	numPoints
+)
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	names := [...]string{"tou", "tok", "tov", "tbus_o", "ton", "tin", "tbus_i", "tiv", "tik", "tiu"}
+	if p >= 0 && int(p) < len(names) {
+		return names[p]
+	}
+	return fmt.Sprintf("Point(%d)", int(p))
+}
+
+// Ledger records the virtual time at which a packet crossed each vantage
+// point. Unset slots are negative.
+type Ledger [numPoints]time.Duration
+
+// NewLedger returns a ledger with all slots unset.
+func NewLedger() Ledger {
+	var l Ledger
+	for i := range l {
+		l[i] = -1
+	}
+	return l
+}
+
+// Set stamps a vantage point. Re-stamping overwrites, matching how a
+// retransmitted frame would be re-timestamped.
+func (l *Ledger) Set(p Point, t time.Duration) { l[p] = t }
+
+// Get returns the stamp and whether it was set.
+func (l *Ledger) Get(p Point) (time.Duration, bool) {
+	if l[p] < 0 {
+		return 0, false
+	}
+	return l[p], true
+}
+
+// Packet is a stack of layers plus simulation metadata.
+type Packet struct {
+	// ID is a simulation-unique identifier, assigned by the factory that
+	// created the packet. It survives cloning so sniffers can correlate
+	// the same frame seen at different taps.
+	ID uint64
+	// Ledger holds per-vantage-point timestamps (see Point).
+	Ledger Ledger
+
+	layers []Layer
+}
+
+// New assembles a packet from outermost to innermost layer.
+func New(layers ...Layer) *Packet {
+	return &Packet{Ledger: NewLedger(), layers: layers}
+}
+
+// Layers returns the layer stack, outermost first. The returned slice is
+// the packet's own; callers must not mutate it.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Dot11 returns the 802.11 header, or nil.
+func (p *Packet) Dot11() *Dot11 {
+	if l := p.Layer(LayerTypeDot11); l != nil {
+		return l.(*Dot11)
+	}
+	return nil
+}
+
+// IPv4 returns the IPv4 header, or nil.
+func (p *Packet) IPv4() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// ICMP returns the ICMP layer, or nil.
+func (p *Packet) ICMP() *ICMP {
+	if l := p.Layer(LayerTypeICMP); l != nil {
+		return l.(*ICMP)
+	}
+	return nil
+}
+
+// UDP returns the UDP layer, or nil.
+func (p *Packet) UDP() *UDP {
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// TCP returns the TCP layer, or nil.
+func (p *Packet) TCP() *TCP {
+	if l := p.Layer(LayerTypeTCP); l != nil {
+		return l.(*TCP)
+	}
+	return nil
+}
+
+// Payload returns the payload bytes, or nil.
+func (p *Packet) Payload() []byte {
+	if l := p.Layer(LayerTypePayload); l != nil {
+		return l.(*Payload).Data
+	}
+	return nil
+}
+
+// Beacon returns the beacon body, or nil.
+func (p *Packet) Beacon() *Beacon {
+	if l := p.Layer(LayerTypeBeacon); l != nil {
+		return l.(*Beacon)
+	}
+	return nil
+}
+
+// Length returns the total serialized length in bytes (the value a
+// sniffer would report as the capture length).
+func (p *Packet) Length() int {
+	n := 0
+	for _, l := range p.layers {
+		n += l.HeaderLen()
+	}
+	return n
+}
+
+// PushOuter prepends a layer (used when the AP re-encapsulates a wired
+// packet into an 802.11 frame).
+func (p *Packet) PushOuter(l Layer) {
+	p.layers = append([]Layer{l}, p.layers...)
+}
+
+// StripOuter removes the outermost layer if it has the given type (used
+// when the AP bridges an 802.11 frame onto the wired segment).
+func (p *Packet) StripOuter(t LayerType) {
+	if len(p.layers) > 0 && p.layers[0].LayerType() == t {
+		p.layers = p.layers[1:]
+	}
+}
+
+// Clone returns a deep copy sharing no mutable state. Sniffer taps clone
+// before stamping so each vantage point sees its own ledger view; the ID
+// is preserved for correlation.
+func (p *Packet) Clone() *Packet {
+	c := &Packet{ID: p.ID, Ledger: p.Ledger}
+	c.layers = make([]Layer, len(p.layers))
+	for i, l := range p.layers {
+		c.layers[i] = cloneLayer(l)
+	}
+	return c
+}
+
+func cloneLayer(l Layer) Layer {
+	switch v := l.(type) {
+	case *Dot11:
+		c := *v
+		return &c
+	case *Beacon:
+		c := *v
+		c.BufferedAIDs = append([]uint16(nil), v.BufferedAIDs...)
+		return &c
+	case *IPv4:
+		c := *v
+		return &c
+	case *ICMP:
+		c := *v
+		return &c
+	case *UDP:
+		c := *v
+		return &c
+	case *TCP:
+		c := *v
+		return &c
+	case *Payload:
+		c := &Payload{Data: append([]byte(nil), v.Data...)}
+		return c
+	default:
+		panic(fmt.Sprintf("packet: cannot clone unknown layer %T", l))
+	}
+}
+
+// String summarises the packet for debugging and traces.
+func (p *Packet) String() string {
+	s := fmt.Sprintf("pkt#%d", p.ID)
+	for _, l := range p.layers {
+		s += "/" + l.LayerType().String()
+	}
+	return s
+}
+
+// Factory hands out simulation-unique packet IDs.
+type Factory struct{ next uint64 }
+
+// NewPacket assembles a packet and assigns it a fresh ID.
+func (f *Factory) NewPacket(layers ...Layer) *Packet {
+	f.next++
+	p := New(layers...)
+	p.ID = f.next
+	return p
+}

@@ -1,0 +1,187 @@
+// Package simtime implements the discrete-event simulation kernel that
+// underlies every simulated component in this repository.
+//
+// The simulator keeps a virtual clock (a time.Duration measured from the
+// start of the simulation) and a priority queue of pending events. All
+// model components — the phone's SDIO bus, the 802.11 MAC, the wired
+// links, the measurement tools — advance exclusively by scheduling
+// callbacks on a shared *Sim. The event loop is single-threaded, so runs
+// are deterministic for a fixed seed, which is what makes the paper's
+// tables reproducible bit-for-bit.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Sim.Schedule and Sim.At.
+type Event struct {
+	when time.Duration
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index; -1 once removed
+	name string
+}
+
+// When returns the virtual time at which the event fires.
+func (e *Event) When() time.Duration { return e.when }
+
+// Name returns the optional debug label attached to the event.
+func (e *Event) Name() string { return e.name }
+
+// Scheduled reports whether the event is still pending in the queue.
+func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use;
+// all model code runs on the event-loop "thread".
+type Sim struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// executed counts events that have fired, a cheap progress and
+	// runaway-loop diagnostic.
+	executed uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// Distinct seeds produce statistically independent runs.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events that have fired so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Schedule queues fn to run after delay d (d < 0 is clamped to 0).
+func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// ScheduleNamed is Schedule with a debug label attached to the event.
+func (s *Sim) ScheduleNamed(name string, d time.Duration, fn func()) *Event {
+	e := s.Schedule(d, fn)
+	e.name = name
+	return e
+}
+
+// At queues fn to run at absolute virtual time t. Times in the past are
+// clamped to the current instant (the event still fires, after events
+// already queued for Now).
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Step fires the earliest event. It reports false when the queue is empty
+// or the simulation has been stopped.
+func (s *Sim) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.when > s.now {
+		s.now = e.when
+	}
+	s.executed++
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain queued.
+func (s *Sim) RunUntil(t time.Duration) {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Stop halts the event loop; queued events are kept but will not fire
+// unless Resume is called.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Resume clears the stopped flag set by Stop.
+func (s *Sim) Resume() { s.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// String summarises the simulator state for debugging.
+func (s *Sim) String() string {
+	return fmt.Sprintf("simtime.Sim{now=%v pending=%d executed=%d}", s.now, len(s.queue), s.executed)
+}

@@ -1,0 +1,116 @@
+package simtime
+
+import "time"
+
+// Timer is a resettable one-shot timer, the building block for the
+// watchdog and power-save timeouts modelled in this repository (SDIO
+// idle demotion, adaptive-PSM timeout, retransmission timers).
+//
+// Unlike a raw Event, a Timer may be re-armed and re-used; re-arming an
+// armed timer reschedules it, matching mod_timer() semantics in the
+// Linux kernel drivers the paper instruments.
+type Timer struct {
+	sim *Sim
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns an unarmed timer that runs fn on expiry.
+func NewTimer(sim *Sim, fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: nil timer callback")
+	}
+	return &Timer{sim: sim, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d. It returns true when the
+// timer was already armed (mod_timer semantics).
+func (t *Timer) Reset(d time.Duration) bool {
+	armed := t.Stop()
+	ev := t.sim.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+	return armed
+}
+
+// Stop disarms the timer, reporting whether it was armed.
+func (t *Timer) Stop() bool {
+	if t.ev == nil || !t.ev.Scheduled() {
+		t.ev = nil
+		return false
+	}
+	t.sim.Cancel(t.ev)
+	t.ev = nil
+	return true
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ev != nil && t.ev.Scheduled() }
+
+// Deadline returns the virtual time at which the armed timer fires; the
+// second result is false when the timer is unarmed.
+func (t *Timer) Deadline() (time.Duration, bool) {
+	if !t.Armed() {
+		return 0, false
+	}
+	return t.ev.When(), true
+}
+
+// Ticker fires a callback at a fixed period until stopped. It models
+// periodic kernel work such as the driver watchdog (dhd_watchdog_ms) and
+// the AP's beacon generation (TBTT).
+type Ticker struct {
+	sim    *Sim
+	period time.Duration
+	fn     func()
+	ev     *Event
+	// phase anchors tick times to phase + k*period, so listeners that
+	// compute "time to next tick" (beacon TBTT arithmetic) stay exact
+	// even when a callback runs late in event ordering.
+	phase time.Duration
+}
+
+// NewTicker starts a ticker with the given period. The first tick fires
+// after offset (use 0 for an immediate-phase ticker; offset lets the AP
+// randomise its beacon phase). period must be positive.
+func NewTicker(sim *Sim, period, offset time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	if fn == nil {
+		panic("simtime: nil ticker callback")
+	}
+	t := &Ticker{sim: sim, period: period, fn: fn, phase: sim.Now() + offset}
+	t.ev = sim.Schedule(offset, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	t.fn()
+	if t.ev == nil { // Stop was called from inside fn
+		return
+	}
+	t.ev = t.sim.Schedule(t.period, t.tick)
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Period returns the ticker period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// NextAfter returns the first tick instant strictly later than ts.
+func (t *Ticker) NextAfter(ts time.Duration) time.Duration {
+	if ts < t.phase {
+		return t.phase
+	}
+	k := (ts-t.phase)/t.period + 1
+	return t.phase + k*t.period
+}

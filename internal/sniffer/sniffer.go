@@ -1,0 +1,146 @@
+// Package sniffer implements the external wireless sniffers of the
+// paper's testbed (§2.2): promiscuous captures of every frame on the
+// air, per-sniffer loss, the multi-sniffer merge that motivates using
+// three of them, and the dn (network-level RTT) extraction used in
+// Tables 2 and 5.
+package sniffer
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// Record is one captured frame.
+type Record struct {
+	PktID uint64
+	// AirStart/AirEnd bracket the frame's time on air; Timestamp is the
+	// value a pcap would carry (end of frame, like a real capture).
+	AirStart, AirEnd time.Duration
+	Frame            *packet.Packet
+}
+
+// Timestamp returns the capture timestamp.
+func (r Record) Timestamp() time.Duration { return r.AirEnd }
+
+// Sniffer is a promiscuous observer attached to the medium as a tap.
+type Sniffer struct {
+	Name string
+	// LossProb is the probability of missing any given frame (real
+	// sniffers drop frames under load; this is why the testbed runs
+	// three of them).
+	LossProb float64
+
+	sim     *simtime.Sim
+	records []Record
+	byID    map[uint64]Record
+
+	Captured uint64
+	Missed   uint64
+}
+
+// New creates a sniffer.
+func New(sim *simtime.Sim, name string, lossProb float64) *Sniffer {
+	return &Sniffer{Name: name, LossProb: lossProb, sim: sim, byID: make(map[uint64]Record)}
+}
+
+// CaptureFrame implements medium.Tap.
+func (s *Sniffer) CaptureFrame(p *packet.Packet, airStart, airEnd time.Duration) {
+	if s.LossProb > 0 && s.sim.Rand().Float64() < s.LossProb {
+		s.Missed++
+		return
+	}
+	rec := Record{PktID: p.ID, AirStart: airStart, AirEnd: airEnd, Frame: p}
+	s.records = append(s.records, rec)
+	if _, dup := s.byID[p.ID]; !dup {
+		s.byID[p.ID] = rec
+	}
+	s.Captured++
+}
+
+// Records returns all captures in order.
+func (s *Sniffer) Records() []Record { return s.records }
+
+// TimeOf returns the air timestamp of a frame by packet ID.
+func (s *Sniffer) TimeOf(id uint64) (time.Duration, bool) {
+	r, ok := s.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return r.Timestamp(), true
+}
+
+// Reset clears the capture buffer.
+func (s *Sniffer) Reset() {
+	s.records = nil
+	s.byID = make(map[uint64]Record)
+	s.Captured, s.Missed = 0, 0
+}
+
+// WritePcap serializes the capture into classic pcap format (802.11
+// link type) so it can be inspected with tcpdump/Wireshark.
+func (s *Sniffer) WritePcap(w io.Writer) error {
+	pw := packet.NewPcapWriter(w, packet.LinkTypeDot11)
+	for _, r := range s.records {
+		data, err := packet.Serialize(r.Frame)
+		if err != nil {
+			return fmt.Errorf("sniffer %s: serializing pkt %d: %w", s.Name, r.PktID, err)
+		}
+		if err := pw.WritePacket(r.Timestamp(), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merged is the union of several sniffers' captures, deduplicated by
+// packet ID with the earliest timestamp winning — the paper's rationale
+// for deploying sniffers A, B, and C.
+type Merged struct {
+	byID map[uint64]Record
+}
+
+// Merge combines captures.
+func Merge(sniffers ...*Sniffer) *Merged {
+	m := &Merged{byID: make(map[uint64]Record)}
+	for _, s := range sniffers {
+		for _, r := range s.records {
+			if prev, ok := m.byID[r.PktID]; !ok || r.Timestamp() < prev.Timestamp() {
+				m.byID[r.PktID] = r
+			}
+		}
+	}
+	return m
+}
+
+// Count returns the number of distinct frames captured.
+func (m *Merged) Count() int { return len(m.byID) }
+
+// TimeOf returns the merged air timestamp for a packet ID.
+func (m *Merged) TimeOf(id uint64) (time.Duration, bool) {
+	r, ok := m.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return r.Timestamp(), true
+}
+
+// Record returns the merged record for a packet ID.
+func (m *Merged) Record(id uint64) (Record, bool) {
+	r, ok := m.byID[id]
+	return r, ok
+}
+
+// RTT computes dn = tin − ton for a request/response packet-ID pair; ok
+// is false when either frame was missed by every sniffer.
+func (m *Merged) RTT(reqID, respID uint64) (time.Duration, bool) {
+	ton, ok1 := m.TimeOf(reqID)
+	tin, ok2 := m.TimeOf(respID)
+	if !ok1 || !ok2 || tin < ton {
+		return 0, false
+	}
+	return tin - ton, true
+}

@@ -1,0 +1,460 @@
+// Package tools implements the measurement tools the paper compares in
+// §4.3 — ICMP ping (with Android's integer-truncation quirk), httping,
+// and MobiPerf-style Java ping — plus the ping2 server-side baseline of
+// Sui et al. discussed in the related work. All of them run against a
+// testbed.Testbed; AcuteMon itself lives in internal/core.
+package tools
+
+import (
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// ProbeRecord is one probe outcome at user level.
+type ProbeRecord struct {
+	Seq    int
+	SentAt time.Duration // tou
+	RecvAt time.Duration // tiu
+	ReqID  uint64
+	RespID uint64
+	// RTT is the value the tool reports (quirks included).
+	RTT time.Duration
+	OK  bool
+}
+
+// Result aggregates a tool run.
+type Result struct {
+	Tool    string
+	Records []ProbeRecord
+	Sent    int
+	Lost    int
+}
+
+// Sample returns the reported RTTs of successful probes.
+func (r Result) Sample() stats.Sample {
+	var out stats.Sample
+	for _, rec := range r.Records {
+		if rec.OK {
+			out = append(out, rec.RTT)
+		}
+	}
+	return out
+}
+
+// LayerSamples extracts per-layer RTT samples for the run's successful
+// probes via the testbed's capture infrastructure. du is the
+// tool-*reported* RTT (quirks included), matching the paper's
+// definition of the user-level measurement.
+func LayerSamples(tb *testbed.Testbed, r Result) (du, dk, dn stats.Sample) {
+	for _, rec := range r.Records {
+		if !rec.OK {
+			continue
+		}
+		l := tb.ExtractRTTs(rec.ReqID, rec.RespID, rec.SentAt, rec.RecvAt)
+		du = append(du, rec.RTT)
+		if l.DkOK {
+			dk = append(dk, l.Dk)
+		}
+		if l.DnOK {
+			dn = append(dn, l.Dn)
+		}
+	}
+	return
+}
+
+// Overheads extracts Δdu−k and Δdk−n per probe (Figures 3 and 7). The
+// user-level term is the tool-reported RTT, so Android ping's integer
+// truncation can — as in Fig 3(b)/(d) — drive Δdu−k negative.
+func Overheads(tb *testbed.Testbed, r Result) (duk, dkn stats.Sample) {
+	for _, rec := range r.Records {
+		if !rec.OK {
+			continue
+		}
+		l := tb.ExtractRTTs(rec.ReqID, rec.RespID, rec.SentAt, rec.RecvAt)
+		if l.DkOK {
+			duk = append(duk, rec.RTT-l.Dk)
+		}
+		if d, ok := l.DeltaKN(); ok {
+			dkn = append(dkn, d)
+		}
+	}
+	return
+}
+
+// PingOptions configures an ICMP ping run.
+type PingOptions struct {
+	Count int
+	// Interval is the packet sending interval (§3.1 contrasts 10 ms with
+	// the 1 s default).
+	Interval time.Duration
+	// PayloadSize is the ICMP payload (default 56, like ping).
+	PayloadSize int
+	// Timeout abandons a probe.
+	Timeout time.Duration
+	// ID is the ICMP identifier (a default is chosen when 0).
+	ID uint16
+}
+
+func (o *PingOptions) fill() {
+	if o.Count <= 0 {
+		o.Count = 100
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.PayloadSize <= 0 {
+		o.PayloadSize = 56
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.ID == 0 {
+		o.ID = 0xBEEF
+	}
+}
+
+// reportPingRTT applies the Android ping formatting quirk: RTTs above
+// the profile threshold are truncated to whole milliseconds (§3.1 notes
+// this can make the reported value smaller than the tcpdump one).
+func reportPingRTT(prof android.Profile, raw time.Duration) time.Duration {
+	if prof.PingIntegerAbove > 0 && raw > prof.PingIntegerAbove {
+		return raw.Truncate(time.Millisecond)
+	}
+	// Normal resolution: ping prints hundredths of a millisecond.
+	return raw.Truncate(10 * time.Microsecond)
+}
+
+// Ping runs the stock ICMP ping (a native binary invoked over adb, as in
+// §3.1) against the measurement server. The returned Result is complete
+// once the testbed's event loop has drained past the run.
+func Ping(tb *testbed.Testbed, opts PingOptions) *Result {
+	opts.fill()
+	res := &Result{Tool: "ping", Records: make([]ProbeRecord, opts.Count)}
+	phone := tb.Phone
+
+	phone.Stack.OnICMP(opts.ID, func(ic *packet.ICMP, p *packet.Packet, at time.Duration) {
+		i := int(ic.Seq)
+		if i >= len(res.Records) || res.Records[i].OK {
+			return
+		}
+		rec := &res.Records[i]
+		// The reply surfaces to the (native) ping process.
+		phone.AppDoAs(android.NativeC, func() {
+			rec.RecvAt = tb.Sim.Now()
+			rec.RespID = p.ID
+			rec.RTT = reportPingRTT(phone.Profile, rec.RecvAt-rec.SentAt)
+			rec.OK = true
+		})
+	})
+
+	for i := 0; i < opts.Count; i++ {
+		i := i
+		tb.Sim.Schedule(time.Duration(i)*opts.Interval, func() {
+			rec := &res.Records[i]
+			rec.Seq = i
+			rec.SentAt = tb.Sim.Now() // gettimeofday before sendto
+			res.Sent++
+			phone.AppDoAs(android.NativeC, func() {
+				req := phone.Stack.SendEcho(testbed.ServerIP, opts.ID, uint16(i), opts.PayloadSize)
+				rec.ReqID = req.ID
+			})
+		})
+	}
+
+	// Let the run and stragglers complete, then tally losses.
+	deadline := time.Duration(opts.Count)*opts.Interval + opts.Timeout
+	tb.Sim.Schedule(deadline, func() {
+		phone.Stack.CloseICMP(opts.ID)
+		for i := range res.Records {
+			if !res.Records[i].OK {
+				res.Lost++
+			}
+		}
+	})
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// HTTPingOptions configures an httping run.
+type HTTPingOptions struct {
+	Count    int
+	Interval time.Duration
+	Timeout  time.Duration
+	// ConnectOnly mirrors httping's -r flag: time only the TCP connect
+	// (a fresh connection per probe) instead of GETs on a persistent
+	// connection.
+	ConnectOnly bool
+}
+
+func (o *HTTPingOptions) fill() {
+	if o.Count <= 0 {
+		o.Count = 100
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+}
+
+// HTTPing cross-compiles to a native binary (as the authors did) and
+// issues an HTTP GET per probe over a persistent connection, reporting
+// the request→first-response time. With ConnectOnly it instead times a
+// fresh TCP connect per probe (httping -r).
+func HTTPing(tb *testbed.Testbed, opts HTTPingOptions) *Result {
+	opts.fill()
+	if opts.ConnectOnly {
+		return httpingConnectOnly(tb, opts)
+	}
+	res := &Result{Tool: "httping", Records: make([]ProbeRecord, opts.Count)}
+	phone := tb.Phone
+
+	conn := phone.Stack.Dial(testbed.ServerIP, 80)
+	probe := func(i int) {
+		if i >= opts.Count {
+			return
+		}
+		rec := &res.Records[i]
+		rec.Seq = i
+		rec.SentAt = tb.Sim.Now()
+		res.Sent++
+		phone.AppDoAs(android.NativeC, func() {
+			req := conn.Send([]byte("GET / HTTP/1.1\r\nHost: m\r\n\r\n"))
+			if req != nil {
+				rec.ReqID = req.ID
+			}
+		})
+	}
+	cur := 0
+	conn.OnData = func(payload []byte, at time.Duration, p *packet.Packet) {
+		if cur >= opts.Count || res.Records[cur].OK {
+			return
+		}
+		rec := &res.Records[cur]
+		phone.AppDoAs(android.NativeC, func() {
+			rec.RecvAt = tb.Sim.Now()
+			rec.RespID = p.ID
+			rec.RTT = rec.RecvAt - rec.SentAt
+			rec.OK = true
+		})
+	}
+	conn.OnConnected = func(at time.Duration, synAck *packet.Packet) {
+		// Probe i fires at connect + i*interval.
+		for i := 0; i < opts.Count; i++ {
+			i := i
+			tb.Sim.Schedule(time.Duration(i)*opts.Interval, func() {
+				cur = i
+				probe(i)
+			})
+		}
+	}
+
+	deadline := time.Duration(opts.Count+1)*opts.Interval + opts.Timeout
+	tb.Sim.Schedule(deadline, func() {
+		conn.Close()
+		for i := range res.Records {
+			if !res.Records[i].OK {
+				res.Lost++
+			}
+		}
+	})
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// JavaPingOptions configures the MobiPerf-style Java ping.
+type JavaPingOptions struct {
+	Count    int
+	Interval time.Duration
+	Timeout  time.Duration
+}
+
+func (o *JavaPingOptions) fill() {
+	if o.Count <= 0 {
+		o.Count = 100
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+}
+
+// JavaPing reimplements MobiPerf's second method (§4.3): a Dalvik app
+// using InetAddress-style reachability, i.e. a TCP SYN to a closed port
+// timed until the RST comes back — with the DVM runtime overhead on both
+// ends of each probe.
+func JavaPing(tb *testbed.Testbed, opts JavaPingOptions) *Result {
+	opts.fill()
+	res := &Result{Tool: "java-ping", Records: make([]ProbeRecord, opts.Count)}
+	phone := tb.Phone
+	// Port 7 runs a UDP echo on the measurement server; TCP 7 is closed,
+	// so a SYN draws an immediate RST, like InetAddress.isReachable.
+	const closedPort = 7
+
+	for i := 0; i < opts.Count; i++ {
+		i := i
+		tb.Sim.Schedule(time.Duration(i)*opts.Interval, func() {
+			rec := &res.Records[i]
+			rec.Seq = i
+			rec.SentAt = tb.Sim.Now() // System.nanoTime() before connect
+			res.Sent++
+			phone.AppDoAs(android.DalvikVM, func() {
+				conn := phone.Stack.Dial(testbed.ServerIP, closedPort)
+				rec.ReqID = conn.SynPacket.ID
+				conn.OnReset = func(at time.Duration, rst *packet.Packet) {
+					phone.AppDoAs(android.DalvikVM, func() {
+						if rec.OK {
+							return
+						}
+						rec.RecvAt = tb.Sim.Now()
+						rec.RespID = rst.ID
+						rec.RTT = rec.RecvAt - rec.SentAt
+						rec.OK = true
+					})
+				}
+			})
+		})
+	}
+
+	deadline := time.Duration(opts.Count)*opts.Interval + opts.Timeout
+	tb.Sim.Schedule(deadline, func() {
+		for i := range res.Records {
+			if !res.Records[i].OK {
+				res.Lost++
+			}
+		}
+	})
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// Ping2Options configures the ping2 baseline.
+type Ping2Options struct {
+	Rounds int
+	// Gap separates measurement rounds.
+	Gap     time.Duration
+	Timeout time.Duration
+}
+
+func (o *Ping2Options) fill() {
+	if o.Rounds <= 0 {
+		o.Rounds = 100
+	}
+	if o.Gap <= 0 {
+		o.Gap = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+}
+
+// Ping2 implements the server-side double-ping of Sui et al. [34]: the
+// measurement server pings the phone once to wake it, then immediately
+// pings again and reports the second RTT. The paper argues this fails
+// for long paths — the phone falls back asleep before the second probe
+// lands — and the A1 ablation reproduces exactly that.
+func Ping2(tb *testbed.Testbed, opts Ping2Options) *Result {
+	opts.fill()
+	res := &Result{Tool: "ping2", Records: make([]ProbeRecord, opts.Rounds)}
+	srv := tb.Server.Stack
+	const icmpID = 0xD0D0
+
+	type roundState struct{ measuring bool }
+	states := make([]roundState, opts.Rounds)
+
+	srv.OnICMP(icmpID, func(ic *packet.ICMP, p *packet.Packet, at time.Duration) {
+		round := int(ic.Seq / 2)
+		if round >= opts.Rounds {
+			return
+		}
+		rec := &res.Records[round]
+		if ic.Seq%2 == 0 {
+			// Wake reply arrived: fire the measurement probe now.
+			if states[round].measuring {
+				return
+			}
+			states[round].measuring = true
+			rec.SentAt = tb.Sim.Now()
+			req := srv.SendEcho(testbed.PhoneIP, icmpID, ic.Seq+1, 56)
+			rec.ReqID = req.ID
+			return
+		}
+		if rec.OK {
+			return
+		}
+		rec.RecvAt = at
+		rec.RespID = p.ID
+		rec.RTT = rec.RecvAt - rec.SentAt
+		rec.OK = true
+	})
+
+	for i := 0; i < opts.Rounds; i++ {
+		i := i
+		tb.Sim.Schedule(time.Duration(i)*opts.Gap, func() {
+			res.Records[i].Seq = i
+			res.Sent++
+			srv.SendEcho(testbed.PhoneIP, icmpID, uint16(2*i), 56) // wake probe
+		})
+	}
+
+	deadline := time.Duration(opts.Rounds)*opts.Gap + opts.Timeout
+	tb.Sim.Schedule(deadline, func() {
+		srv.CloseICMP(icmpID)
+		for i := range res.Records {
+			if !res.Records[i].OK {
+				res.Lost++
+			}
+		}
+	})
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// httpingConnectOnly is httping -r: fresh connection per probe, connect
+// time reported.
+func httpingConnectOnly(tb *testbed.Testbed, opts HTTPingOptions) *Result {
+	res := &Result{Tool: "httping -r", Records: make([]ProbeRecord, opts.Count)}
+	phone := tb.Phone
+	for i := 0; i < opts.Count; i++ {
+		i := i
+		tb.Sim.Schedule(time.Duration(i)*opts.Interval, func() {
+			rec := &res.Records[i]
+			rec.Seq = i
+			rec.SentAt = tb.Sim.Now()
+			res.Sent++
+			phone.AppDoAs(android.NativeC, func() {
+				conn := phone.Stack.Dial(testbed.ServerIP, 80)
+				rec.ReqID = conn.SynPacket.ID
+				conn.OnConnected = func(at time.Duration, synAck *packet.Packet) {
+					phone.AppDoAs(android.NativeC, func() {
+						if rec.OK {
+							return
+						}
+						rec.RecvAt = tb.Sim.Now()
+						rec.RespID = synAck.ID
+						rec.RTT = rec.RecvAt - rec.SentAt
+						rec.OK = true
+					})
+					conn.Close()
+				}
+			})
+		})
+	}
+	deadline := time.Duration(opts.Count)*opts.Interval + opts.Timeout
+	tb.Sim.Schedule(deadline, func() {
+		for i := range res.Records {
+			if !res.Records[i].OK {
+				res.Lost++
+			}
+		}
+	})
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
