@@ -1,0 +1,29 @@
+# Local invocations mirror .github/workflows/ci.yml so "make ci" is
+# exactly what the workflow runs.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint race bench

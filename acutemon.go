@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/live"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -156,3 +157,43 @@ func NewRegistry() *Registry { return core.NewRegistry() }
 
 // LoadRegistry parses a calibration database from JSON.
 func LoadRegistry(r io.Reader) (*Registry, error) { return core.LoadRegistry(r) }
+
+// ShardedRegistry is the concurrency-safe calibration database used by
+// fleet campaigns: workers read and record per-model parameters without
+// a global lock.
+type ShardedRegistry = core.ShardedRegistry
+
+// NewShardedRegistry returns an empty sharded calibration database
+// (shards < 1 selects the default shard count).
+func NewShardedRegistry(shards int) *ShardedRegistry { return core.NewShardedRegistry(shards) }
+
+// Fleet-scale campaign surface. A Campaign runs hundreds to thousands
+// of independent simulated measurement sessions on a bounded worker
+// pool and streams per-session summaries into mergeable campaign
+// aggregates.
+type (
+	// Campaign configures a concurrent measurement campaign.
+	Campaign = fleet.Campaign
+	// CampaignSession specifies one session of a campaign.
+	CampaignSession = fleet.Session
+	// CampaignSessionResult summarizes one finished session.
+	CampaignSessionResult = fleet.SessionResult
+	// CampaignReport is the merged result of a campaign.
+	CampaignReport = fleet.Report
+	// CampaignScenario is a named campaign preset.
+	CampaignScenario = fleet.Scenario
+	// CampaignParams sizes a scenario-built campaign.
+	CampaignParams = fleet.Params
+)
+
+// RunCampaign executes a fleet campaign and returns the merged report.
+func RunCampaign(c Campaign) (*CampaignReport, error) { return fleet.Run(c) }
+
+// CampaignScenarios lists the built-in campaign presets (device-model
+// mixes, cross-traffic levels, PSM timer sweeps, RTT sweeps).
+func CampaignScenarios() []CampaignScenario { return fleet.Scenarios() }
+
+// CampaignScenarioByName resolves a preset by name.
+func CampaignScenarioByName(name string) (CampaignScenario, bool) {
+	return fleet.ScenarioByName(name)
+}

@@ -1,0 +1,122 @@
+// Command acutemon-fleet runs a concurrent measurement campaign:
+// hundreds to thousands of simulated phone sessions scheduled over a
+// bounded worker pool, aggregated into a per-group campaign report.
+//
+// Usage:
+//
+//	acutemon-fleet [-scenario device-mix] [-sessions 1000] [-workers 0]
+//	               [-probes 100] [-rtt 30ms] [-seed 1]
+//	               [-registry fleet.json] [-calibrate] [-progress]
+//	acutemon-fleet -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	acutemon "repro"
+)
+
+func main() {
+	scenario := flag.String("scenario", "device-mix", "campaign preset (see -list)")
+	list := flag.Bool("list", false, "list scenario presets and exit")
+	sessions := flag.Int("sessions", 1000, "number of measurement sessions")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	probes := flag.Int("probes", 100, "probes per session (K)")
+	rtt := flag.Duration("rtt", 30*time.Millisecond, "base emulated path RTT")
+	seed := flag.Int64("seed", 1, "campaign seed (results are reproducible per seed)")
+	registryPath := flag.String("registry", "", "calibration database JSON: loaded if present, saved after the run")
+	calibrate := flag.Bool("calibrate", false, "auto-calibrate models missing from the registry (implies a shared registry)")
+	progress := flag.Bool("progress", false, "print one line per 100 finished sessions")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("campaign scenarios:")
+		for _, sc := range acutemon.CampaignScenarios() {
+			fmt.Printf("  %-14s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	sc, ok := acutemon.CampaignScenarioByName(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; run with -list\n", *scenario)
+		os.Exit(2)
+	}
+
+	c := acutemon.Campaign{
+		Name:     *scenario,
+		Scenario: *scenario,
+		Seed:     *seed,
+		Workers:  *workers,
+		Sessions: sc.Build(acutemon.CampaignParams{
+			Sessions: *sessions,
+			Seed:     *seed,
+			Probes:   *probes,
+			BaseRTT:  *rtt,
+		}),
+	}
+
+	if *registryPath != "" || *calibrate {
+		reg := acutemon.NewShardedRegistry(0)
+		if *registryPath != "" {
+			if f, err := os.Open(*registryPath); err == nil {
+				plain, err := acutemon.LoadRegistry(f)
+				f.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "registry %s: %v\n", *registryPath, err)
+					os.Exit(1)
+				}
+				if err := reg.Load(plain); err != nil {
+					fmt.Fprintf(os.Stderr, "registry %s: %v\n", *registryPath, err)
+					os.Exit(1)
+				}
+				fmt.Printf("loaded %d calibrated model(s) from %s\n", reg.Len(), *registryPath)
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "registry:", err)
+				os.Exit(1)
+			}
+		}
+		c.Registry = reg
+		c.AutoCalibrate = *calibrate
+	}
+
+	if *progress {
+		total := len(c.Sessions)
+		done := 0
+		c.OnSession = func(r acutemon.CampaignSessionResult) {
+			done++
+			if done%100 == 0 {
+				fmt.Printf("  %d/%d sessions done\n", done, total)
+			}
+		}
+	}
+
+	rep, err := acutemon.RunCampaign(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+
+	if c.Registry != nil && *registryPath != "" {
+		f, err := os.Create(*registryPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "registry:", err)
+			os.Exit(1)
+		}
+		if err := c.Registry.Snapshot().Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "registry:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("saved %d calibrated model(s) to %s\n", c.Registry.Len(), *registryPath)
+	}
+
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

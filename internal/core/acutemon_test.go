@@ -89,9 +89,9 @@ func TestBackgroundTrafficDiesAtGateway(t *testing.T) {
 	tb := newTB(4, "", 30*time.Millisecond)
 	mon := New(tb, Config{K: 20})
 	res := mon.Run()
-	if tb.Wired.Stats.DroppedTTL < uint64(res.BackgroundSent) {
+	if tb.Wired.Stats.DroppedTTL.Load() < uint64(res.BackgroundSent) {
 		t.Errorf("gateway dropped %d, want >= %d (all BT packets)",
-			tb.Wired.Stats.DroppedTTL, res.BackgroundSent)
+			tb.Wired.Stats.DroppedTTL.Load(), res.BackgroundSent)
 	}
 	// Nothing TTL=1 may reach the measurement or load servers.
 	if tb.Server.Stack.DroppedNoDemux > 0 {

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEntry(model string, i int) RegistryEntry {
+	return RegistryEntry{
+		Model:    model,
+		Chipset:  "BCM-test",
+		Tip:      time.Duration(60+i%40) * time.Millisecond,
+		Tis:      50 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Interval: 20 * time.Millisecond,
+		Samples:  8,
+	}
+}
+
+func TestShardedRegistryBasics(t *testing.T) {
+	s := NewShardedRegistry(4)
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("lookup on empty registry succeeded")
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Record(testEntry(fmt.Sprintf("model-%02d", i), i)); err != nil {
+			t.Fatalf("record: %v", err)
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d, want 50", s.Len())
+	}
+	if got := s.Models(); len(got) != 50 || got[0] != "model-00" || got[49] != "model-49" {
+		t.Fatalf("models mis-sorted or wrong count: %d %v...", len(got), got[:2])
+	}
+	e, ok := s.Lookup("model-07")
+	if !ok || e.Tip != testEntry("model-07", 7).Tip {
+		t.Fatalf("lookup model-07 = %+v, %v", e, ok)
+	}
+	cfg, ok := s.ConfigFor("model-07", DefaultConfig())
+	if !ok || cfg.WarmupDelay != e.Warmup || cfg.BackgroundInterval != e.Interval {
+		t.Fatalf("ConfigFor wrong: %+v", cfg)
+	}
+	if err := s.Record(RegistryEntry{Model: ""}); err == nil {
+		t.Fatal("invalid entry accepted")
+	}
+}
+
+func TestShardedRegistrySnapshotRoundTrip(t *testing.T) {
+	s := NewShardedRegistry(8)
+	for i := 0; i < 20; i++ {
+		if err := s.Record(testEntry(fmt.Sprintf("phone-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot().Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	plain, err := LoadRegistry(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s2 := NewShardedRegistry(3)
+	if err := s2.Load(plain); err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", s2.Len(), s.Len())
+	}
+	for _, m := range s.Models() {
+		a, _ := s.Lookup(m)
+		b, ok := s2.Lookup(m)
+		if !ok || a != b {
+			t.Fatalf("%s: %+v vs %+v", m, a, b)
+		}
+	}
+}
+
+// TestShardedRegistryConcurrent hammers the registry from many
+// goroutines mixing reads and writes; run under -race this is the
+// fleet-campaign access pattern in miniature.
+func TestShardedRegistryConcurrent(t *testing.T) {
+	s := NewShardedRegistry(4)
+	const (
+		writers = 8
+		readers = 8
+		models  = 16
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := fmt.Sprintf("model-%02d", (w*7+i)%models)
+				if err := s.Record(testEntry(m, i)); err != nil {
+					t.Errorf("record %s: %v", m, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := fmt.Sprintf("model-%02d", (r*3+i)%models)
+				if e, ok := s.Lookup(m); ok {
+					if e.Model != m {
+						t.Errorf("lookup %s returned %s", m, e.Model)
+						return
+					}
+				}
+				s.ConfigFor(m, DefaultConfig())
+				if i%50 == 0 {
+					s.Snapshot()
+					s.Len()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s.Len() != models {
+		t.Fatalf("len = %d, want %d", s.Len(), models)
+	}
+}
+
+// TestRegistryParallelConfigFor exercises pure read concurrency on a
+// pre-populated registry — the steady-state fleet path once every model
+// has been calibrated.
+func TestRegistryParallelConfigFor(t *testing.T) {
+	s := NewShardedRegistry(0) // default shard count
+	for i := 0; i < 32; i++ {
+		if err := s.Record(testEntry(fmt.Sprintf("m%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m := fmt.Sprintf("m%d", (g+i)%32)
+				cfg, ok := s.ConfigFor(m, DefaultConfig())
+				if !ok || cfg.WarmupDelay <= 0 {
+					t.Errorf("ConfigFor %s failed", m)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

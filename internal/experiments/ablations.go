@@ -31,11 +31,10 @@ func AblationPing2(opts Options) []AblationPing2Row {
 	if rounds < 10 {
 		rounds = 10
 	}
-	var rows []AblationPing2Row
-	cell := int64(800)
-	for _, rtt := range []time.Duration{10, 20, 35, 60, 100, 150, 250} {
-		rtt := rtt * time.Millisecond
-		cell++
+	rtts := []time.Duration{10, 20, 35, 60, 100, 150, 250}
+	return parMap(opts, len(rtts), func(i int) AblationPing2Row {
+		rtt := rtts[i] * time.Millisecond
+		cell := int64(801 + i)
 		tbP := newTB(opts.subSeed(cell), "Google Nexus 4", rtt, nil)
 		tbP.Sim.RunUntil(500 * time.Millisecond)
 		p2 := tools.Ping2(tbP, tools.Ping2Options{Rounds: rounds, Gap: time.Second})
@@ -44,13 +43,12 @@ func AblationPing2(opts Options) []AblationPing2Row {
 		tbA.Sim.RunUntil(500 * time.Millisecond)
 		am := core.New(tbA, core.Config{K: rounds}).Run()
 
-		rows = append(rows, AblationPing2Row{
+		return AblationPing2Row{
 			Emulated: rtt,
 			Ping2Err: p2.Sample().Median() - rtt,
 			AcuteErr: am.Sample().Median() - rtt,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderAblationPing2 prints the sweep.
@@ -77,22 +75,19 @@ type AblationDBRow struct {
 // then arrive too late to keep the SDIO bus awake.
 func AblationDB(opts Options) []AblationDBRow {
 	opts.fill()
-	var rows []AblationDBRow
-	cell := int64(900)
-	for _, db := range []time.Duration{5, 10, 20, 30, 40, 60, 80, 120} {
-		db := db * time.Millisecond
-		cell++
-		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 85*time.Millisecond, nil)
+	dbs := []time.Duration{5, 10, 20, 30, 40, 60, 80, 120}
+	return parMap(opts, len(dbs), func(i int) AblationDBRow {
+		db := dbs[i] * time.Millisecond
+		tb := newTB(opts.subSeed(int64(901+i)), "Google Nexus 5", 85*time.Millisecond, nil)
 		tb.Sim.RunUntil(300 * time.Millisecond)
 		res := core.New(tb, core.Config{K: opts.probes(), BackgroundInterval: db}).Run()
 		duk, dkn := core.OverheadStats(tb, res)
-		rows = append(rows, AblationDBRow{
+		return AblationDBRow{
 			DB:             db,
 			MedianOverhead: duk.Median() + dkn.Median(),
 			BackgroundSent: res.BackgroundSent,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderAblationDB prints the sweep.
@@ -125,13 +120,12 @@ func AblationDpre(opts Options) []AblationDpreRow {
 	if opts.Quick {
 		reps = 6
 	}
-	var rows []AblationDpreRow
-	cell := int64(1000)
-	for _, dpre := range []time.Duration{1, 3, 6, 12, 20, 40} {
-		dpre := dpre * time.Millisecond
+	dpres := []time.Duration{1, 3, 6, 12, 20, 40}
+	return parMap(opts, len(dpres), func(i int) AblationDpreRow {
+		dpre := dpres[i] * time.Millisecond
 		var firsts stats.Sample
 		for r := 0; r < reps; r++ {
-			cell++
+			cell := int64(1000 + i*reps + r + 1)
 			tb := newTB(opts.subSeed(cell), "Google Nexus 5", 50*time.Millisecond, nil)
 			tb.Sim.RunUntil(500 * time.Millisecond) // idle: bus asleep
 			res := core.New(tb, core.Config{K: 10, WarmupDelay: dpre}).Run()
@@ -141,9 +135,8 @@ func AblationDpre(opts Options) []AblationDpreRow {
 			}
 			firsts = append(firsts, res.Records[0].RTT-s.Median())
 		}
-		rows = append(rows, AblationDpreRow{Dpre: dpre, FirstProbeOverhead: firsts.Median()})
-	}
-	return rows
+		return AblationDpreRow{Dpre: dpre, FirstProbeOverhead: firsts.Median()}
+	})
 }
 
 // RenderAblationDpre prints the sweep.
@@ -170,22 +163,19 @@ type AblationIdletimeRow struct {
 // with 200 ms-interval pings on a 30 ms path.
 func AblationIdletime(opts Options) []AblationIdletimeRow {
 	opts.fill()
-	var rows []AblationIdletimeRow
-	cell := int64(1100)
-	for _, idle := range []int{1, 2, 5, 10, 20, 30} {
-		idle := idle
-		cell++
-		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+	idles := []int{1, 2, 5, 10, 20, 30}
+	return parMap(opts, len(idles), func(i int) AblationIdletimeRow {
+		idle := idles[i]
+		tb := newTB(opts.subSeed(int64(1101+i)), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
 			c.ModifyDriver = func(d *driver.Config) { d.Bus.IdleTime = idle }
 		})
 		res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: 200 * time.Millisecond})
-		rows = append(rows, AblationIdletimeRow{
+		return AblationIdletimeRow{
 			Idletime:   idle,
 			IdlePeriod: time.Duration(idle) * 10 * time.Millisecond,
 			MeanDu:     res.Sample().Mean(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderAblationIdletime prints the sweep.

@@ -27,9 +27,19 @@ func ExtensionCellular(opts Options) []CellularRow {
 	if probes > 30 {
 		probes = 30 // long intervals make big campaigns pointless
 	}
-	var rows []CellularRow
 	intervals := []time.Duration{500 * time.Millisecond, 2 * time.Second, 7 * time.Second, 20 * time.Second}
-	for i, interval := range intervals {
+	return parMap(opts, len(intervals)+1, func(i int) CellularRow {
+		if i == len(intervals) {
+			// AcuteMon over cellular: background packets each second
+			// (db ≪ T1).
+			tb := cellular.NewTestbed(cellular.TestbedConfig{
+				Seed: opts.subSeed(1299), Radio: cellular.UMTS(), CoreRTT: 40 * time.Millisecond,
+			})
+			tb.Sim.RunFor(30 * time.Second) // modem idles first
+			am := tb.RunAcuteMon(probes, 2500*time.Millisecond, time.Second, 0)
+			return CellularRow{Label: "AcuteMon (db=1s)", RTTs: am.RTTs}
+		}
+		interval := intervals[i]
 		tb := cellular.NewTestbed(cellular.TestbedConfig{
 			Seed: opts.subSeed(1200 + int64(i)), Radio: cellular.UMTS(), CoreRTT: 40 * time.Millisecond,
 		})
@@ -38,18 +48,10 @@ func ExtensionCellular(opts Options) []CellularRow {
 			n = 8 // keep the virtual clock reasonable
 		}
 		res := tb.Ping(n, interval)
-		rows = append(rows, CellularRow{
+		return CellularRow{
 			Label: fmt.Sprintf("ping @%v", interval), Interval: interval, RTTs: res.RTTs,
-		})
-	}
-	// AcuteMon over cellular: background packets each second (db ≪ T1).
-	tb := cellular.NewTestbed(cellular.TestbedConfig{
-		Seed: opts.subSeed(1299), Radio: cellular.UMTS(), CoreRTT: 40 * time.Millisecond,
+		}
 	})
-	tb.Sim.RunFor(30 * time.Second) // modem idles first
-	am := tb.RunAcuteMon(probes, 2500*time.Millisecond, time.Second, 0)
-	rows = append(rows, CellularRow{Label: "AcuteMon (db=1s)", RTTs: am.RTTs})
-	return rows
 }
 
 // RenderCellular prints the sweep.

@@ -40,42 +40,38 @@ func ExtensionEnergy(opts Options) []EnergyRow {
 		})
 	}
 
-	var rows []EnergyRow
-	add := func(scheme string, tb *testbed.Testbed, med time.Duration) {
+	finish := func(scheme string, tb *testbed.Testbed, med time.Duration) EnergyRow {
 		tb.Sim.RunUntil(window) // settle to the common window end
-		rep := tb.Energy.Snapshot()
-		rows = append(rows, EnergyRow{
+		return EnergyRow{
 			Scheme:        scheme,
-			Report:        rep,
-			BeyondGateway: tb.Wired.Stats.Forwarded,
+			Report:        tb.Energy.Snapshot(),
+			BeyondGateway: tb.Wired.Stats.Forwarded.Load(),
 			MedianRTT:     med,
-		})
+		}
 	}
 
-	{ // (a) idle baseline: energy-saving mechanisms undisturbed.
-		tb := build(0)
-		add("idle", tb, 0)
-	}
-	{ // (b) AcuteMon: K probes, BT only while measuring.
-		tb := build(1)
-		tb.Sim.RunUntil(500 * time.Millisecond)
-		res := core.New(tb, core.Config{K: opts.probes()}).Run()
-		add("acutemon", tb, res.Sample().Median())
-	}
-	{ // (c) 10 ms-interval ping for the same span AcuteMon was active
-		// (probes × RTT ≈ probes × 85 ms of wall time).
-		tb := build(2)
-		tb.Sim.RunUntil(500 * time.Millisecond)
-		n := int(time.Duration(opts.probes()) * rtt / (10 * time.Millisecond))
-		res := tools.Ping(tb, tools.PingOptions{Count: n, Interval: 10 * time.Millisecond})
-		add("ping@10ms", tb, res.Sample().Median())
-	}
-	{ // (d) 1 s-interval ping across the window.
-		tb := build(3)
-		res := tools.Ping(tb, tools.PingOptions{Count: 9, Interval: time.Second})
-		add("ping@1s", tb, res.Sample().Median())
-	}
-	return rows
+	return parMap(opts, 4, func(i int) EnergyRow {
+		switch i {
+		case 0: // (a) idle baseline: energy-saving mechanisms undisturbed.
+			return finish("idle", build(0), 0)
+		case 1: // (b) AcuteMon: K probes, BT only while measuring.
+			tb := build(1)
+			tb.Sim.RunUntil(500 * time.Millisecond)
+			res := core.New(tb, core.Config{K: opts.probes()}).Run()
+			return finish("acutemon", tb, res.Sample().Median())
+		case 2: // (c) 10 ms-interval ping for the same span AcuteMon was
+			// active (probes × RTT ≈ probes × 85 ms of wall time).
+			tb := build(2)
+			tb.Sim.RunUntil(500 * time.Millisecond)
+			n := int(time.Duration(opts.probes()) * rtt / (10 * time.Millisecond))
+			res := tools.Ping(tb, tools.PingOptions{Count: n, Interval: 10 * time.Millisecond})
+			return finish("ping@10ms", tb, res.Sample().Median())
+		default: // (d) 1 s-interval ping across the window.
+			tb := build(3)
+			res := tools.Ping(tb, tools.PingOptions{Count: 9, Interval: time.Second})
+			return finish("ping@1s", tb, res.Sample().Median())
+		}
+	})
 }
 
 // RenderEnergy prints the comparison.

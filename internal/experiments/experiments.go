@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/android"
+	"repro/internal/fleet"
 	"repro/internal/testbed"
 )
 
@@ -20,6 +21,10 @@ type Options struct {
 	Probes int
 	// Quick reduces probe counts for smoke tests.
 	Quick bool
+	// Workers bounds the fleet pool the suites run their cells on
+	// (0 = GOMAXPROCS). Cells are independent seeded testbeds, so
+	// results are identical for any worker count.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's scale.
@@ -43,6 +48,13 @@ func (o Options) probes() int { return o.Probes }
 // subSeed derives a per-cell seed so cells are independent but the whole
 // experiment is reproducible from Options.Seed.
 func (o Options) subSeed(cell int64) int64 { return o.Seed*1_000_003 + cell }
+
+// parMap runs n independent experiment cells on the fleet worker pool,
+// returning results in cell order. Every cell builds its own seeded
+// testbed, so parallel execution changes wall-clock only.
+func parMap[T any](o Options, n int, f func(i int) T) []T {
+	return fleet.Map(o.Workers, n, f)
+}
 
 // newTB builds a cell testbed.
 func newTB(seed int64, phoneName string, rtt time.Duration, mod func(*testbed.Config)) *testbed.Testbed {

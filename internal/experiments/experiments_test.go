@@ -10,6 +10,35 @@ import (
 
 func quick() Options { return Options{Seed: 7, Probes: 30, Quick: true} }
 
+// TestWorkersDontChangeResults pins the fleet.Map contract at the suite
+// level: cells are independently seeded, so the worker count must not
+// alter a single sample.
+func TestWorkersDontChangeResults(t *testing.T) {
+	serial := quick()
+	serial.Workers = 1
+	parallel := quick()
+	parallel.Workers = 4
+
+	a := Table2Run(serial)
+	b := Table2Run(parallel)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Phone != b[i].Phone || a[i].RTT != b[i].RTT || a[i].Interval != b[i].Interval {
+			t.Fatalf("cell %d specs diverge", i)
+		}
+		if len(a[i].Du) != len(b[i].Du) {
+			t.Fatalf("cell %d: du lengths differ", i)
+		}
+		for j := range a[i].Du {
+			if a[i].Du[j] != b[i].Du[j] {
+				t.Fatalf("cell %d sample %d: %v vs %v", i, j, a[i].Du[j], b[i].Du[j])
+			}
+		}
+	}
+}
+
 func cellFor(t *testing.T, cells []Table2Cell, phone string, rtt, interval time.Duration) Table2Cell {
 	t.Helper()
 	for _, c := range cells {

@@ -115,19 +115,30 @@ type Fig7Box struct {
 // four emulated RTTs (the paper shows N5, Grand, N4).
 func Fig7Run(opts Options) []Fig7Box {
 	opts.fill()
-	var boxes []Fig7Box
-	cell := int64(500)
+	type spec struct {
+		phone string
+		rtt   time.Duration
+	}
+	var specs []spec
 	for _, phone := range Fig7Phones {
 		for _, rtt := range Table5RTTs {
-			cell++
-			tb := newTB(opts.subSeed(cell), phone, rtt, nil)
-			tb.Sim.RunUntil(300 * time.Millisecond)
-			res := core.New(tb, core.Config{K: opts.probes()}).Run()
-			duk, dkn := core.OverheadStats(tb, res)
-			boxes = append(boxes,
-				Fig7Box{Phone: phone, RTT: rtt, Kind: "du-k", Box: duk.Box()},
-				Fig7Box{Phone: phone, RTT: rtt, Kind: "dk-n", Box: dkn.Box()})
+			specs = append(specs, spec{phone, rtt})
 		}
+	}
+	pairs := parMap(opts, len(specs), func(i int) [2]Fig7Box {
+		sp := specs[i]
+		tb := newTB(opts.subSeed(int64(501+i)), sp.phone, sp.rtt, nil)
+		tb.Sim.RunUntil(300 * time.Millisecond)
+		res := core.New(tb, core.Config{K: opts.probes()}).Run()
+		duk, dkn := core.OverheadStats(tb, res)
+		return [2]Fig7Box{
+			{Phone: sp.phone, RTT: sp.rtt, Kind: "du-k", Box: duk.Box()},
+			{Phone: sp.phone, RTT: sp.rtt, Kind: "dk-n", Box: dkn.Box()},
+		}
+	})
+	boxes := make([]Fig7Box, 0, 2*len(pairs))
+	for _, p := range pairs {
+		boxes = append(boxes, p[0], p[1])
 	}
 	return boxes
 }
@@ -162,35 +173,40 @@ type Fig8Series struct {
 func Fig8Run(opts Options) []Fig8Series {
 	opts.fill()
 	const rtt = 30 * time.Millisecond
-	var out []Fig8Series
-	cell := int64(600)
+	type spec struct {
+		cross bool
+		tool  string
+	}
+	var specs []spec
 	for _, cross := range []bool{false, true} {
 		for _, tool := range []string{"AcuteMon", "httping", "ping", "Java ping"} {
-			cell++
-			tb := newTB(opts.subSeed(cell), "Google Nexus 5", rtt, nil)
-			if cross {
-				tb.StartCrossTraffic()
-			}
-			tb.Sim.RunUntil(300 * time.Millisecond)
-			var s stats.Sample
-			switch tool {
-			case "AcuteMon":
-				res := core.New(tb, core.Config{K: opts.probes()}).Run()
-				s = res.Sample()
-			case "httping":
-				res := tools.HTTPing(tb, tools.HTTPingOptions{Count: opts.probes(), Interval: time.Second})
-				s = res.Sample()
-			case "ping":
-				res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: time.Second})
-				s = res.Sample()
-			case "Java ping":
-				res := tools.JavaPing(tb, tools.JavaPingOptions{Count: opts.probes(), Interval: time.Second})
-				s = res.Sample()
-			}
-			out = append(out, Fig8Series{Tool: tool, Cross: cross, RTTs: s})
+			specs = append(specs, spec{cross, tool})
 		}
 	}
-	return out
+	return parMap(opts, len(specs), func(i int) Fig8Series {
+		sp := specs[i]
+		tb := newTB(opts.subSeed(int64(601+i)), "Google Nexus 5", rtt, nil)
+		if sp.cross {
+			tb.StartCrossTraffic()
+		}
+		tb.Sim.RunUntil(300 * time.Millisecond)
+		var s stats.Sample
+		switch sp.tool {
+		case "AcuteMon":
+			res := core.New(tb, core.Config{K: opts.probes()}).Run()
+			s = res.Sample()
+		case "httping":
+			res := tools.HTTPing(tb, tools.HTTPingOptions{Count: opts.probes(), Interval: time.Second})
+			s = res.Sample()
+		case "ping":
+			res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: time.Second})
+			s = res.Sample()
+		case "Java ping":
+			res := tools.JavaPing(tb, tools.JavaPingOptions{Count: opts.probes(), Interval: time.Second})
+			s = res.Sample()
+		}
+		return Fig8Series{Tool: sp.tool, Cross: sp.cross, RTTs: s}
+	})
 }
 
 // RenderFig8 prints the two CDF panels of Figure 8.
@@ -227,22 +243,27 @@ type Fig9Series struct {
 // and without BT, plus a no-cross-traffic reference.
 func Fig9Run(opts Options) []Fig9Series {
 	opts.fill()
-	run := func(cell int64, cross, noBG bool) stats.Sample {
-		tb := newTB(opts.subSeed(cell), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
+	arms := []struct {
+		label       string
+		cell        int64
+		cross, noBG bool
+	}{
+		{"With BG traffic", 700, true, false},
+		{"Without BG traffic", 701, true, true},
+		{"No cross traffic", 702, false, false},
+	}
+	return parMap(opts, len(arms), func(i int) Fig9Series {
+		arm := arms[i]
+		tb := newTB(opts.subSeed(arm.cell), "Google Nexus 5", 30*time.Millisecond, func(c *testbed.Config) {
 			c.DisableBusSleep = true
 		})
-		if cross {
+		if arm.cross {
 			tb.StartCrossTraffic()
 		}
 		tb.Sim.RunUntil(300 * time.Millisecond)
-		res := core.New(tb, core.Config{K: opts.probes(), NoBackground: noBG}).Run()
-		return res.Sample()
-	}
-	return []Fig9Series{
-		{Label: "With BG traffic", RTTs: run(700, true, false)},
-		{Label: "Without BG traffic", RTTs: run(701, true, true)},
-		{Label: "No cross traffic", RTTs: run(702, false, false)},
-	}
+		res := core.New(tb, core.Config{K: opts.probes(), NoBackground: arm.noBG}).Run()
+		return Fig9Series{Label: arm.label, RTTs: res.Sample()}
+	})
 }
 
 // RenderFig9 prints Figure 9's CDF comparison.

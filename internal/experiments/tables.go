@@ -39,24 +39,29 @@ type Table2Cell struct {
 // Nexus 5, emulated RTTs 30/60 ms, ping intervals 10 ms and 1 s.
 func Table2Run(opts Options) []Table2Cell {
 	opts.fill()
-	var cells []Table2Cell
-	cell := int64(0)
+	type spec struct {
+		phone         string
+		rtt, interval time.Duration
+	}
+	var specs []spec
 	for _, phone := range []string{"Google Nexus 4", "Google Nexus 5"} {
 		for _, rtt := range []time.Duration{30 * time.Millisecond, 60 * time.Millisecond} {
 			for _, interval := range []time.Duration{10 * time.Millisecond, time.Second} {
-				cell++
-				tb := newTB(opts.subSeed(cell), phone, rtt, nil)
-				res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: interval})
-				du, dk, dn := tools.LayerSamples(tb, *res)
-				duk, dkn := tools.Overheads(tb, *res)
-				cells = append(cells, Table2Cell{
-					Phone: phone, RTT: rtt, Interval: interval,
-					Du: du, Dk: dk, Dn: dn, DeltaUK: duk, DeltaKN: dkn,
-				})
+				specs = append(specs, spec{phone, rtt, interval})
 			}
 		}
 	}
-	return cells
+	return parMap(opts, len(specs), func(i int) Table2Cell {
+		sp := specs[i]
+		tb := newTB(opts.subSeed(int64(i+1)), sp.phone, sp.rtt, nil)
+		res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: sp.interval})
+		du, dk, dn := tools.LayerSamples(tb, *res)
+		duk, dkn := tools.Overheads(tb, *res)
+		return Table2Cell{
+			Phone: sp.phone, RTT: sp.rtt, Interval: sp.interval,
+			Du: du, Dk: dk, Dn: dn, DeltaUK: duk, DeltaKN: dkn,
+		}
+	})
 }
 
 // RenderTable2 prints Table 2's layout (mean ±95% CI, in ms).
@@ -94,21 +99,30 @@ type Table3Cell struct {
 // after the ~50-60 ms bus demotion, which a 30 ms path cannot produce.
 func Table3Run(opts Options) []Table3Cell {
 	opts.fill()
-	var cells []Table3Cell
-	cell := int64(100)
-	for _, sleep := range []bool{true, false} {
-		for _, interval := range []time.Duration{10 * time.Millisecond, time.Second} {
-			cell++
-			tb := newTB(opts.subSeed(cell), "Google Nexus 5", 60*time.Millisecond, func(c *testbed.Config) {
-				c.DisableBusSleep = !sleep
-			})
-			tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: interval})
-			cells = append(cells,
-				Table3Cell{Kind: "dvsend", BusSleep: sleep, Interval: interval,
-					Sample: tb.Phone.Drv.Instr.SendSample()},
-				Table3Cell{Kind: "dvrecv", BusSleep: sleep, Interval: interval,
-					Sample: tb.Phone.Drv.Instr.RecvSample()})
+	type spec struct {
+		sleep    bool
+		interval time.Duration
+	}
+	specs := []spec{
+		{true, 10 * time.Millisecond}, {true, time.Second},
+		{false, 10 * time.Millisecond}, {false, time.Second},
+	}
+	pairs := parMap(opts, len(specs), func(i int) [2]Table3Cell {
+		sp := specs[i]
+		tb := newTB(opts.subSeed(int64(101+i)), "Google Nexus 5", 60*time.Millisecond, func(c *testbed.Config) {
+			c.DisableBusSleep = !sp.sleep
+		})
+		tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: sp.interval})
+		return [2]Table3Cell{
+			{Kind: "dvsend", BusSleep: sp.sleep, Interval: sp.interval,
+				Sample: tb.Phone.Drv.Instr.SendSample()},
+			{Kind: "dvrecv", BusSleep: sp.sleep, Interval: sp.interval,
+				Sample: tb.Phone.Drv.Instr.RecvSample()},
 		}
+	})
+	cells := make([]Table3Cell, 0, 2*len(pairs))
+	for _, p := range pairs {
+		cells = append(cells, p[0], p[1])
 	}
 	return cells
 }
@@ -144,20 +158,19 @@ func Table4Run(opts Options) []Table4Cell {
 	if opts.Quick {
 		rounds = 4
 	}
-	var cells []Table4Cell
-	for i, phone := range AllPhones {
+	return parMap(opts, len(AllPhones), func(i int) Table4Cell {
+		phone := AllPhones[i]
 		tb := newTB(opts.subSeed(200+int64(i)), phone, 30*time.Millisecond, nil)
 		cal := core.Calibrate(tb, core.CalibrateOptions{TipRounds: rounds, TisMax: 1, TisStep: 1, PairsPerGap: 1})
 		prof, _ := android.ProfileByName(phone)
-		cells = append(cells, Table4Cell{
+		return Table4Cell{
 			Phone:        phone,
 			TipMeasured:  cal.Tip,
 			TipNominal:   prof.PSMTimeout,
 			AssocListen:  prof.AssocListenInterval,
 			ActualListen: prof.ActualListenInterval,
-		})
-	}
-	return cells
+		}
+	})
 }
 
 // RenderTable4 prints Table 4's layout.
@@ -187,22 +200,27 @@ var Table5RTTs = []time.Duration{20 * time.Millisecond, 50 * time.Millisecond, 8
 // under AcuteMon for all five phones and four emulated RTTs.
 func Table5Run(opts Options) []Table5Cell {
 	opts.fill()
-	var cells []Table5Cell
-	cell := int64(300)
+	type spec struct {
+		phone string
+		rtt   time.Duration
+	}
+	var specs []spec
 	for _, phone := range AllPhones {
 		for _, rtt := range Table5RTTs {
-			cell++
-			tb := newTB(opts.subSeed(cell), phone, rtt, nil)
-			// Let the phone settle (and doze) before measurement, as a
-			// real idle phone would.
-			tb.Sim.RunUntil(500 * time.Millisecond)
-			mon := core.New(tb, core.Config{K: opts.probes()})
-			res := mon.Run()
-			_, _, dn := tools.LayerSamples(tb, res.Result)
-			cells = append(cells, Table5Cell{Phone: phone, Emulated: rtt, Dn: dn})
+			specs = append(specs, spec{phone, rtt})
 		}
 	}
-	return cells
+	return parMap(opts, len(specs), func(i int) Table5Cell {
+		sp := specs[i]
+		tb := newTB(opts.subSeed(int64(301+i)), sp.phone, sp.rtt, nil)
+		// Let the phone settle (and doze) before measurement, as a
+		// real idle phone would.
+		tb.Sim.RunUntil(500 * time.Millisecond)
+		mon := core.New(tb, core.Config{K: opts.probes()})
+		res := mon.Run()
+		_, _, dn := tools.LayerSamples(tb, res.Result)
+		return Table5Cell{Phone: sp.phone, Emulated: sp.rtt, Dn: dn}
+	})
 }
 
 // RenderTable5 prints Table 5's layout.

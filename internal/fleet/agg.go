@@ -1,0 +1,387 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Moments is a mergeable streaming accumulator for count, mean,
+// variance (via Welford's M2), min, and max. Two Moments built over
+// disjoint halves of a sample and merged with Merge agree with one
+// Moments built over the whole sample (up to float rounding), which is
+// what lets fleet workers aggregate locally and combine at the end
+// without ever holding raw samples.
+type Moments struct {
+	N        int64
+	Mean, M2 float64
+	MinV     float64
+	MaxV     float64
+}
+
+// Add folds one observation in.
+func (m *Moments) Add(v float64) {
+	m.N++
+	if m.N == 1 {
+		m.Mean, m.M2, m.MinV, m.MaxV = v, 0, v, v
+		return
+	}
+	d := v - m.Mean
+	m.Mean += d / float64(m.N)
+	m.M2 += d * (v - m.Mean)
+	if v < m.MinV {
+		m.MinV = v
+	}
+	if v > m.MaxV {
+		m.MaxV = v
+	}
+}
+
+// Merge folds another accumulator in (Chan et al.'s parallel variance
+// update).
+func (m *Moments) Merge(o Moments) {
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = o
+		return
+	}
+	n1, n2 := float64(m.N), float64(o.N)
+	delta := o.Mean - m.Mean
+	tot := n1 + n2
+	m.M2 += o.M2 + delta*delta*n1*n2/tot
+	m.Mean += delta * n2 / tot
+	if o.MinV < m.MinV {
+		m.MinV = o.MinV
+	}
+	if o.MaxV > m.MaxV {
+		m.MaxV = o.MaxV
+	}
+	m.N += o.N
+}
+
+// Variance returns the unbiased sample variance.
+func (m Moments) Variance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.N-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m Moments) Stddev() float64 { return math.Sqrt(m.Variance()) }
+
+// MeanDuration interprets the accumulator as nanosecond observations.
+func (m Moments) MeanDuration() time.Duration { return time.Duration(m.Mean) }
+
+// Hist is a mergeable fixed-range histogram over durations. Counts of
+// two histograms with identical geometry add exactly, so — unlike exact
+// quantiles — histogram-based quantile estimates are order- and
+// partition-independent.
+type Hist struct {
+	Lo, Hi time.Duration
+	Counts []int64
+	Under  int64
+	Over   int64
+}
+
+// Campaign-level user-RTT histogram geometry: 0.5 ms resolution up to
+// 500 ms, which covers every scenario in the paper (the worst cellular
+// promotions excepted — those land in Over).
+const (
+	histLo   = 0
+	histHi   = 500 * time.Millisecond
+	histBins = 1000
+)
+
+// NewHist builds a histogram with the given geometry.
+func NewHist(lo, hi time.Duration, bins int) *Hist {
+	if bins <= 0 {
+		bins = 1
+	}
+	return &Hist{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+func newDuHist() *Hist { return NewHist(histLo, histHi, histBins) }
+
+// Add folds one duration in.
+func (h *Hist) Add(d time.Duration) {
+	switch {
+	case d < h.Lo:
+		h.Under++
+	case d >= h.Hi:
+		h.Over++
+	default:
+		idx := int(int64(d-h.Lo) * int64(len(h.Counts)) / int64(h.Hi-h.Lo))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Merge adds another histogram's counts; geometries must match.
+func (h *Hist) Merge(o *Hist) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("fleet: merging histograms with different geometry: [%v,%v)×%d vs [%v,%v)×%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// N returns the total count including out-of-range observations.
+func (h *Hist) N() int64 {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0..1) as the upper edge of the
+// bin where the cumulative count crosses q·N. Under-range mass resolves
+// to Lo and over-range mass to Hi.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.Under
+	if cum >= target {
+		return h.Lo
+	}
+	width := float64(h.Hi-h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.Lo + time.Duration(float64(i+1)*width)
+		}
+	}
+	return h.Hi
+}
+
+// GroupAggregate is the campaign-level fold of every session sharing one
+// scenario label. All fields merge exactly (counts, histogram) or
+// stably (moments), so per-worker aggregates combine into the same
+// report regardless of how sessions were scheduled.
+type GroupAggregate struct {
+	Label    string
+	Sessions int64
+	// Errors counts sessions that failed to run at all.
+	Errors int64
+
+	// Probe accounting across the group.
+	ProbesSent, ProbesLost int64
+	BackgroundSent         int64
+
+	// Du folds every user-level RTT observation (ns) of the group; DuHist
+	// backs the campaign delay-distribution quantiles.
+	Du     Moments
+	DuHist *Hist
+
+	// Inflation folds per-session inflation factors
+	// (mean du ÷ emulated path RTT; dimensionless).
+	Inflation Moments
+
+	// UserOverhead / SDIOOverhead fold per-session mean Δdu−k and Δdk−n
+	// (ns): the paper's user-space and host-bus attribution.
+	UserOverhead Moments
+	SDIOOverhead Moments
+	// PSMInflation folds per-session mean(dn) − emulated RTT (ns): delay
+	// added on the air path itself, the PSM/AP-buffering share.
+	PSMInflation Moments
+
+	// PSMActiveSessions counts sessions whose capture showed power-save
+	// activity; CalibratedSessions counts sessions that measured with
+	// registry-supplied dpre/db.
+	PSMActiveSessions  int64
+	CalibratedSessions int64
+}
+
+func newGroupAggregate(label string) *GroupAggregate {
+	return &GroupAggregate{Label: label, DuHist: newDuHist()}
+}
+
+// fold absorbs one finished session. sample carries the raw user RTTs;
+// it is dropped after this call, keeping memory O(groups), not
+// O(sessions × probes).
+func (g *GroupAggregate) fold(r *SessionResult, sample stats.Sample) {
+	g.Sessions++
+	if r.Err != nil {
+		g.Errors++
+		return
+	}
+	g.ProbesSent += int64(r.Sent)
+	g.ProbesLost += int64(r.Lost)
+	g.BackgroundSent += int64(r.BackgroundSent)
+	for _, v := range sample {
+		g.Du.Add(float64(v))
+		g.DuHist.Add(v)
+	}
+	if r.Inflation > 0 {
+		g.Inflation.Add(r.Inflation)
+	}
+	if r.LayersOK {
+		g.UserOverhead.Add(float64(r.UserOverhead))
+		g.SDIOOverhead.Add(float64(r.SDIOOverhead))
+		g.PSMInflation.Add(float64(r.PSMInflation))
+	}
+	if r.PSMActive {
+		g.PSMActiveSessions++
+	}
+	if r.CalibratedConfig {
+		g.CalibratedSessions++
+	}
+}
+
+// Merge folds another group's aggregate in.
+func (g *GroupAggregate) Merge(o *GroupAggregate) error {
+	if o == nil {
+		return nil
+	}
+	g.Sessions += o.Sessions
+	g.Errors += o.Errors
+	g.ProbesSent += o.ProbesSent
+	g.ProbesLost += o.ProbesLost
+	g.BackgroundSent += o.BackgroundSent
+	g.Du.Merge(o.Du)
+	if err := g.DuHist.Merge(o.DuHist); err != nil {
+		return err
+	}
+	g.Inflation.Merge(o.Inflation)
+	g.UserOverhead.Merge(o.UserOverhead)
+	g.SDIOOverhead.Merge(o.SDIOOverhead)
+	g.PSMInflation.Merge(o.PSMInflation)
+	g.PSMActiveSessions += o.PSMActiveSessions
+	g.CalibratedSessions += o.CalibratedSessions
+	return nil
+}
+
+// LossRate returns the fraction of probes lost.
+func (g *GroupAggregate) LossRate() float64 {
+	if g.ProbesSent == 0 {
+		return 0
+	}
+	return float64(g.ProbesLost) / float64(g.ProbesSent)
+}
+
+// Report is the result of a campaign run.
+type Report struct {
+	Name     string
+	Scenario string
+	Workers  int
+	Sessions int64
+	Errors   int64
+	// Wall is the measured wall-clock of the whole campaign.
+	Wall time.Duration
+	// Groups are the per-label aggregates, sorted by label.
+	Groups []*GroupAggregate
+	// FirstErrors records up to a handful of session error strings for
+	// diagnosis.
+	FirstErrors []string
+	// CalibratedModels lists the models the auto-calibration pre-pass
+	// trained and recorded, sorted.
+	CalibratedModels []string
+}
+
+// Group finds a group by label.
+func (r *Report) Group(label string) *GroupAggregate {
+	for _, g := range r.Groups {
+		if g.Label == label {
+			return g
+		}
+	}
+	return nil
+}
+
+// mergeGroups combines per-worker aggregate maps into the report's
+// sorted group list.
+func (r *Report) mergeGroups(locals []map[string]*GroupAggregate) error {
+	merged := map[string]*GroupAggregate{}
+	for _, local := range locals {
+		for label, g := range local {
+			dst, ok := merged[label]
+			if !ok {
+				dst = newGroupAggregate(label)
+				merged[label] = dst
+			}
+			if err := dst.Merge(g); err != nil {
+				return err
+			}
+		}
+	}
+	labels := make([]string, 0, len(merged))
+	for l := range merged {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	r.Groups = r.Groups[:0]
+	for _, l := range labels {
+		g := merged[l]
+		r.Groups = append(r.Groups, g)
+		r.Sessions += g.Sessions
+		r.Errors += g.Errors
+	}
+	return nil
+}
+
+// Render prints the campaign report as a table plus a header line, in
+// the repo's report idiom.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q (scenario %s): %d sessions, %d workers, %v wall",
+		r.Name, r.Scenario, r.Sessions, r.Workers, r.Wall.Round(time.Millisecond))
+	if r.Wall > 0 {
+		fmt.Fprintf(&b, " (%.0f sessions/s)", float64(r.Sessions)/r.Wall.Seconds())
+	}
+	b.WriteByte('\n')
+	if len(r.CalibratedModels) > 0 {
+		fmt.Fprintf(&b, "auto-calibrated %d model(s): %s\n",
+			len(r.CalibratedModels), strings.Join(r.CalibratedModels, ", "))
+	}
+	if r.Errors > 0 {
+		fmt.Fprintf(&b, "errors: %d session(s) failed\n", r.Errors)
+	}
+	for _, e := range r.FirstErrors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	t := report.NewTable("Per-group campaign aggregates (durations in ms).",
+		"Group", "Sessions", "Probes", "Loss", "du mean±sd", "p50", "p90", "p99",
+		"Inflation", "Δdu−k", "Δdk−n", "PSM infl.", "PSM act.")
+	ms := func(f float64) string { return fmt.Sprintf("%.2f", f/float64(time.Millisecond)) }
+	for _, g := range r.Groups {
+		t.AddRow(g.Label,
+			fmt.Sprintf("%d", g.Sessions),
+			fmt.Sprintf("%d", g.ProbesSent),
+			fmt.Sprintf("%.1f%%", g.LossRate()*100),
+			fmt.Sprintf("%s±%s", ms(g.Du.Mean), ms(g.Du.Stddev())),
+			ms(float64(g.DuHist.Quantile(0.50))),
+			ms(float64(g.DuHist.Quantile(0.90))),
+			ms(float64(g.DuHist.Quantile(0.99))),
+			fmt.Sprintf("%.2f×", g.Inflation.Mean),
+			ms(g.UserOverhead.Mean),
+			ms(g.SDIOOverhead.Mean),
+			ms(g.PSMInflation.Mean),
+			fmt.Sprintf("%d/%d", g.PSMActiveSessions, g.Sessions))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func approxEq(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+// TestMomentsMergeMatchesSinglePass is the aggregator-correctness
+// contract: folding a sample in shards and merging must agree with one
+// sequential pass over the same values.
+func TestMomentsMergeMatchesSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	values := make([]float64, 10_000)
+	for i := range values {
+		values[i] = 30e6 + rng.NormFloat64()*5e6 // ~30ms ± 5ms in ns
+	}
+
+	var single Moments
+	for _, v := range values {
+		single.Add(v)
+	}
+
+	for _, shards := range []int{2, 3, 7, 16} {
+		parts := make([]Moments, shards)
+		for i, v := range values {
+			parts[i%shards].Add(v)
+		}
+		var merged Moments
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.N != single.N {
+			t.Fatalf("shards=%d: N %d vs %d", shards, merged.N, single.N)
+		}
+		if !approxEq(merged.Mean, single.Mean, 1e-9) {
+			t.Errorf("shards=%d: mean %v vs %v", shards, merged.Mean, single.Mean)
+		}
+		if !approxEq(merged.Variance(), single.Variance(), 1e-6) {
+			t.Errorf("shards=%d: variance %v vs %v", shards, merged.Variance(), single.Variance())
+		}
+		if merged.MinV != single.MinV || merged.MaxV != single.MaxV {
+			t.Errorf("shards=%d: min/max %v/%v vs %v/%v", shards, merged.MinV, merged.MaxV, single.MinV, single.MaxV)
+		}
+	}
+}
+
+func TestHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	single := newDuHist()
+	parts := []*Hist{newDuHist(), newDuHist(), newDuHist()}
+	for i := 0; i < 50_000; i++ {
+		d := time.Duration(rng.Int63n(int64(600 * time.Millisecond)))
+		if i%100 == 0 {
+			d = -time.Millisecond // exercise Under
+		}
+		single.Add(d)
+		parts[i%3].Add(d)
+	}
+	merged := newDuHist()
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Under != single.Under || merged.Over != single.Over {
+		t.Fatalf("under/over: %d/%d vs %d/%d", merged.Under, merged.Over, single.Under, single.Over)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != single.Counts[i] {
+			t.Fatalf("bin %d: %d vs %d", i, merged.Counts[i], single.Counts[i])
+		}
+	}
+	if merged.N() != single.N() {
+		t.Fatalf("N: %d vs %d", merged.N(), single.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != single.Quantile(q) {
+			t.Errorf("q=%.2f: %v vs %v", q, merged.Quantile(q), single.Quantile(q))
+		}
+	}
+	if err := merged.Merge(NewHist(0, time.Second, 10)); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestHistQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := newDuHist()
+	var s stats.Sample
+	for i := 0; i < 20_000; i++ {
+		d := time.Duration(20*time.Millisecond) + time.Duration(rng.Int63n(int64(80*time.Millisecond)))
+		h.Add(d)
+		s = append(s, d)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := s.Percentile(q * 100)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// One histogram bin (0.5ms) of slack.
+		if diff > time.Millisecond {
+			t.Errorf("q=%.2f: hist %v vs exact %v", q, got, want)
+		}
+	}
+}
+
+// TestGroupAggregateMergeMatchesSinglePass folds synthetic session
+// results both sequentially and sharded-then-merged, the exact shape of
+// the per-worker aggregation in Run.
+func TestGroupAggregateMergeMatchesSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	type sess struct {
+		r SessionResult
+		s stats.Sample
+	}
+	var sessions []sess
+	for i := 0; i < 200; i++ {
+		var s stats.Sample
+		for j := 0; j < 50; j++ {
+			s = append(s, time.Duration(30e6+rng.NormFloat64()*4e6))
+		}
+		sessions = append(sessions, sess{
+			r: SessionResult{
+				Sent: 50, Lost: rng.Intn(3), BackgroundSent: 40,
+				Inflation:    1 + rng.Float64(),
+				LayersOK:     true,
+				UserOverhead: time.Duration(rng.Int63n(int64(time.Millisecond))),
+				SDIOOverhead: time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+				PSMInflation: time.Duration(rng.Int63n(int64(5 * time.Millisecond))),
+				PSMActive:    i%3 == 0,
+			},
+			s: s,
+		})
+	}
+
+	single := newGroupAggregate("g")
+	for i := range sessions {
+		single.fold(&sessions[i].r, sessions[i].s)
+	}
+
+	const workers = 6
+	parts := make([]*GroupAggregate, workers)
+	for w := range parts {
+		parts[w] = newGroupAggregate("g")
+	}
+	for i := range sessions {
+		parts[i%workers].fold(&sessions[i].r, sessions[i].s)
+	}
+	merged := newGroupAggregate("g")
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if merged.Sessions != single.Sessions || merged.ProbesSent != single.ProbesSent ||
+		merged.ProbesLost != single.ProbesLost || merged.BackgroundSent != single.BackgroundSent ||
+		merged.PSMActiveSessions != single.PSMActiveSessions {
+		t.Fatalf("counts diverge: %+v vs %+v", merged, single)
+	}
+	if merged.Du.N != single.Du.N || !approxEq(merged.Du.Mean, single.Du.Mean, 1e-9) ||
+		!approxEq(merged.Du.Variance(), single.Du.Variance(), 1e-6) {
+		t.Errorf("Du moments diverge: %+v vs %+v", merged.Du, single.Du)
+	}
+	for i := range merged.DuHist.Counts {
+		if merged.DuHist.Counts[i] != single.DuHist.Counts[i] {
+			t.Fatalf("hist bin %d: %d vs %d", i, merged.DuHist.Counts[i], single.DuHist.Counts[i])
+		}
+	}
+	for _, pair := range [][2]Moments{
+		{merged.Inflation, single.Inflation},
+		{merged.UserOverhead, single.UserOverhead},
+		{merged.SDIOOverhead, single.SDIOOverhead},
+		{merged.PSMInflation, single.PSMInflation},
+	} {
+		if pair[0].N != pair[1].N || !approxEq(pair[0].Mean, pair[1].Mean, 1e-9) {
+			t.Errorf("moments diverge: %+v vs %+v", pair[0], pair[1])
+		}
+	}
+}

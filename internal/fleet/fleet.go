@@ -1,0 +1,345 @@
+// Package fleet runs measurement campaigns: hundreds to thousands of
+// simulated phone sessions executed concurrently on a bounded worker
+// pool. It is the scale-out layer the paper's §4.1 future-work item
+// implies — building a calibrated-parameter database across many device
+// models only pays off when many handsets measure at once, the regime
+// MopEye-style opportunistic deployments operate in.
+//
+// Design points:
+//
+//   - every session owns a private testbed.Testbed, so sessions share no
+//     simulation state and schedule freely across workers;
+//   - seeding is deterministic per session (derived from the campaign
+//     seed and the session's index via SeedFor), so a campaign's
+//     simulated measurements are identical for any worker count: counts,
+//     min/max, and histograms match exactly, while floating-point moment
+//     statistics (mean/variance) agree up to accumulation rounding,
+//     since worker-local fold order varies;
+//   - workers fold finished sessions into worker-local GroupAggregates
+//     (mergeable moments + histograms) and the aggregates merge at the
+//     end — no raw sample ever outlives its session;
+//   - an optional core.ShardedRegistry shares calibrated Tis/Tip
+//     parameters across workers without a global lock.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/sniffer"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+// Session specifies one simulated measurement session.
+type Session struct {
+	// ID is the session's index within the campaign; it keys the
+	// session's deterministic seed. Filled by Run when building from a
+	// scenario.
+	ID int
+	// Label is the aggregation group ("" defaults to the phone model).
+	Label string
+	// Phone is the device model (Table 1 name); "" defaults to the
+	// Nexus 5.
+	Phone string
+	// Seed overrides the derived per-session seed when non-zero.
+	Seed int64
+	// EmulatedRTT is the tc-style path delay (0 → 30 ms).
+	EmulatedRTT time.Duration
+	// Probes is the per-session probe count K (0 → 100).
+	Probes int
+	// Probe selects the probe mechanism (default TCP SYN).
+	Probe core.ProbeType
+	// Settle is how long the idle phone runs before measuring
+	// (0 → 300 ms), letting it doze as a real pocket phone would.
+	Settle time.Duration
+	// CrossTraffic turns on the §4.3 iPerf load.
+	CrossTraffic bool
+	// DisablePSM / DisableBusSleep pin the radio / bus awake (ablation
+	// arms).
+	DisablePSM      bool
+	DisableBusSleep bool
+	// PSMTimeout overrides the phone profile's nominal Tip (PSM timer
+	// sweeps).
+	PSMTimeout time.Duration
+}
+
+func (s *Session) fill(campaignSeed int64) {
+	if s.Phone == "" {
+		s.Phone = "Google Nexus 5"
+	}
+	if s.Label == "" {
+		s.Label = s.Phone
+	}
+	if s.EmulatedRTT == 0 {
+		s.EmulatedRTT = 30 * time.Millisecond
+	}
+	if s.Probes <= 0 {
+		s.Probes = 100
+	}
+	if s.Settle <= 0 {
+		s.Settle = 300 * time.Millisecond
+	}
+	if s.Seed == 0 {
+		s.Seed = SeedFor(campaignSeed, s.ID)
+	}
+}
+
+// SessionResult summarizes one finished session. Raw probe RTTs are
+// folded into the campaign aggregates and dropped; only the summary
+// travels.
+type SessionResult struct {
+	Session Session
+	Err     error
+
+	// Summary describes the session's user-level RTT sample.
+	Summary stats.Summary
+	Sent    int
+	Lost    int
+	// BackgroundSent counts the TTL=1 wake-keeping packets.
+	BackgroundSent int
+
+	// Inflation is mean(du) ÷ emulated path RTT (1.0 = no inflation).
+	Inflation float64
+
+	// LayersOK reports whether per-layer attribution was extractable.
+	LayersOK bool
+	// UserOverhead is the session's mean Δdu−k (user-space share).
+	UserOverhead time.Duration
+	// SDIOOverhead is the session's mean Δdk−n (host-bus share).
+	SDIOOverhead time.Duration
+	// PSMInflation is mean(dn) − emulated RTT (air-path share: PSM/AP
+	// buffering plus medium contention).
+	PSMInflation time.Duration
+
+	// PSMActive reports power-save activity in the merged capture.
+	PSMActive bool
+	// CalibratedConfig reports that the session's dpre/db came from the
+	// shared registry.
+	CalibratedConfig bool
+}
+
+// Campaign configures a concurrent measurement campaign.
+type Campaign struct {
+	// Name labels the report.
+	Name string
+	// Scenario names the preset the session list came from (report
+	// cosmetics; "" renders as "custom").
+	Scenario string
+	// Seed keys every derived per-session seed.
+	Seed int64
+	// Workers bounds the pool (0 → GOMAXPROCS).
+	Workers int
+	// Sessions is the work list. Build one by hand or from a Scenario.
+	Sessions []Session
+	// Registry, when non-nil, supplies calibrated dpre/db per model and
+	// receives fresh calibrations.
+	Registry *core.ShardedRegistry
+	// AutoCalibrate runs the training procedure once per distinct model
+	// missing from Registry before sessions start — a deterministic
+	// pre-pass (model list and calibration seeds derive from the
+	// campaign seed), so campaign results stay independent of worker
+	// scheduling.
+	AutoCalibrate bool
+	// CalibrateOptions tunes auto-calibration (zero values use
+	// fleet-friendly reduced rounds).
+	CalibrateOptions core.CalibrateOptions
+	// OnSession, when set, observes every finished session. Calls are
+	// serialized; ordering follows completion, not session ID.
+	OnSession func(SessionResult)
+}
+
+// Run executes the campaign and returns the merged report.
+func Run(c Campaign) (*Report, error) {
+	if len(c.Sessions) == 0 {
+		return nil, fmt.Errorf("fleet: campaign %q has no sessions", c.Name)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Sessions) {
+		workers = len(c.Sessions)
+	}
+	sessions := make([]Session, len(c.Sessions))
+	for i, s := range c.Sessions {
+		s.ID = i
+		s.fill(c.Seed)
+		sessions[i] = s
+	}
+
+	scenario := c.Scenario
+	if scenario == "" {
+		scenario = "custom"
+	}
+	rep := &Report{Name: c.Name, Scenario: scenario, Workers: workers}
+	start := time.Now()
+	if c.Registry != nil && c.AutoCalibrate {
+		var calErrs []string
+		rep.CalibratedModels, calErrs = precalibrate(&c, sessions, workers)
+		rep.FirstErrors = append(rep.FirstErrors, calErrs...)
+	}
+	locals := make([]map[string]*GroupAggregate, workers)
+	var (
+		errMu    sync.Mutex
+		onMu     sync.Mutex
+		firstErr []string
+	)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		local := map[string]*GroupAggregate{}
+		locals[w] = local
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s := sessions[i]
+				res, sample := runSession(&c, s)
+				g, ok := local[s.Label]
+				if !ok {
+					g = newGroupAggregate(s.Label)
+					local[s.Label] = g
+				}
+				g.fold(&res, sample)
+				if res.Err != nil {
+					errMu.Lock()
+					if len(firstErr) < 5 {
+						firstErr = append(firstErr, fmt.Sprintf("session %d (%s): %v", s.ID, s.Label, res.Err))
+					}
+					errMu.Unlock()
+				}
+				if c.OnSession != nil {
+					onMu.Lock()
+					c.OnSession(res)
+					onMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range sessions {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Wall = time.Since(start)
+	rep.FirstErrors = append(rep.FirstErrors, firstErr...)
+	if err := rep.mergeGroups(locals); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// precalibrate runs the training procedure for every distinct session
+// model missing from the registry, in parallel over dedicated testbeds.
+// Model order and per-model seeds derive from the campaign alone, so
+// the resulting registry is reproducible for any worker count or
+// session schedule. Returns the calibrated models plus one error string
+// per model whose calibration failed (those sessions run uncalibrated).
+func precalibrate(c *Campaign, sessions []Session, workers int) (models, errs []string) {
+	opts := c.CalibrateOptions
+	if opts.TipRounds == 0 {
+		opts.TipRounds = 4
+	}
+	if opts.PairsPerGap == 0 {
+		opts.PairsPerGap = 2
+	}
+	seen := map[string]bool{}
+	var missing []string
+	for _, s := range sessions {
+		if seen[s.Phone] {
+			continue
+		}
+		seen[s.Phone] = true
+		if _, ok := c.Registry.Lookup(s.Phone); !ok {
+			missing = append(missing, s.Phone)
+		}
+	}
+	sort.Strings(missing)
+	done := Map(workers, len(missing), func(i int) error {
+		prof, ok := android.ProfileByName(missing[i])
+		if !ok {
+			return fmt.Errorf("unknown phone model %q", missing[i])
+		}
+		cfg := testbed.DefaultConfig()
+		cfg.Seed = SeedFor(c.Seed, -100-i)
+		cfg.Phone = prof
+		_, err := c.Registry.CalibrateInto(testbed.New(cfg), opts)
+		return err
+	})
+	for i, err := range done {
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("calibrate %s: %v", missing[i], err))
+			continue
+		}
+		models = append(models, missing[i])
+	}
+	return models, errs
+}
+
+// runSession builds the session's private testbed, runs AcuteMon, and
+// extracts the summary plus the raw user-RTT sample for folding.
+func runSession(c *Campaign, s Session) (SessionResult, stats.Sample) {
+	out := SessionResult{Session: s}
+
+	prof, ok := android.ProfileByName(s.Phone)
+	if !ok {
+		out.Err = fmt.Errorf("fleet: unknown phone model %q", s.Phone)
+		return out, nil
+	}
+	if s.PSMTimeout > 0 {
+		prof.PSMTimeout = s.PSMTimeout
+	}
+
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Phone = prof
+	cfg.EmulatedRTT = s.EmulatedRTT
+	cfg.DisablePSM = s.DisablePSM
+	cfg.DisableBusSleep = s.DisableBusSleep
+	tb := testbed.New(cfg)
+	if s.CrossTraffic {
+		tb.StartCrossTraffic()
+	}
+	tb.Sim.RunUntil(s.Settle)
+
+	amCfg := core.Config{K: s.Probes, Probe: s.Probe}
+	if c.Registry != nil {
+		if withCal, ok := c.Registry.ConfigFor(prof.Model, amCfg); ok {
+			amCfg = withCal
+			out.CalibratedConfig = true
+		}
+	}
+
+	res := core.New(tb, amCfg).Run()
+	sample := res.Sample()
+	out.Summary = sample.Summarize()
+	out.Sent = res.Sent
+	out.Lost = res.Lost
+	out.BackgroundSent = res.BackgroundSent
+	if s.EmulatedRTT > 0 && len(sample) > 0 {
+		out.Inflation = float64(sample.Mean()) / float64(s.EmulatedRTT)
+	}
+
+	_, _, dn := tools.LayerSamples(tb, res.Result)
+	duk, dkn := core.OverheadStats(tb, res)
+	if len(dn) > 0 && len(duk) > 0 && len(dkn) > 0 {
+		out.LayersOK = true
+		out.UserOverhead = duk.Mean()
+		out.SDIOOverhead = dkn.Mean()
+		out.PSMInflation = dn.Mean() - s.EmulatedRTT
+	}
+	out.PSMActive = sniffer.AnalyzeMerged(tb.MergedCapture()).PSMActive()
+	return out, sample
+}

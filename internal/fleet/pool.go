@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SeedFor derives a deterministic per-unit seed from a base seed and a
+// unit index via a splitmix64 finalizer, so sibling units (sessions,
+// cells, workers) get decorrelated RNG streams while the whole campaign
+// stays reproducible from one number. The result is always positive.
+func SeedFor(base int64, id int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(int64(id)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	seed := int64(z & 0x7fffffffffffffff)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Map runs f(0..n-1) on a bounded worker pool and returns the results in
+// index order. Each index is processed exactly once, so as long as f(i)
+// depends only on i (the repo-wide convention: every experiment cell
+// builds its own seeded testbed), the output is identical for any worker
+// count. workers <= 0 selects GOMAXPROCS.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Params sizes a scenario-built campaign.
+type Params struct {
+	// Sessions is the total session count.
+	Sessions int
+	// Seed keys the scenario's own randomness (model draws) and the
+	// derived per-session seeds.
+	Seed int64
+	// Probes is the per-session probe count K (0 → 100).
+	Probes int
+	// BaseRTT is the emulated path delay for scenarios that don't sweep
+	// it (0 → 30 ms).
+	BaseRTT time.Duration
+}
+
+func (p *Params) fill() {
+	if p.Sessions <= 0 {
+		p.Sessions = 100
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.BaseRTT == 0 {
+		p.BaseRTT = 30 * time.Millisecond
+	}
+}
+
+// Scenario is a named campaign preset.
+type Scenario struct {
+	Name        string
+	Description string
+	// Build generates the session list. Deterministic in Params.
+	Build func(p Params) []Session
+}
+
+// deviceMix approximates a deployed-fleet census over the paper's
+// Table 1 inventory: a few dominant models and a long-ish tail.
+var deviceMix = []struct {
+	model  string
+	weight int
+}{
+	{"Google Nexus 5", 35},
+	{"Samsung Grand", 25},
+	{"Google Nexus 4", 20},
+	{"Sony Xperia J", 12},
+	{"HTC One", 8},
+}
+
+// Scenarios lists the built-in presets.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "homogeneous Nexus 5 fleet on the default 30 ms path",
+			Build: func(p Params) []Session {
+				p.fill()
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					out[i] = Session{Phone: "Google Nexus 5", EmulatedRTT: p.BaseRTT, Probes: p.Probes}
+				}
+				return out
+			},
+		},
+		{
+			Name:        "device-mix",
+			Description: "weighted five-model census (MopEye-style opportunistic fleet), grouped by model",
+			Build: func(p Params) []Session {
+				p.fill()
+				total := 0
+				for _, d := range deviceMix {
+					total += d.weight
+				}
+				rng := rand.New(rand.NewSource(SeedFor(p.Seed, -1)))
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					pick := rng.Intn(total)
+					model := deviceMix[len(deviceMix)-1].model
+					for _, d := range deviceMix {
+						if pick < d.weight {
+							model = d.model
+							break
+						}
+						pick -= d.weight
+					}
+					out[i] = Session{Phone: model, EmulatedRTT: p.BaseRTT, Probes: p.Probes}
+				}
+				return out
+			},
+		},
+		{
+			Name:        "cross-traffic",
+			Description: "idle vs. iPerf-loaded cells in equal halves (§4.3 at fleet scale)",
+			Build: func(p Params) []Session {
+				p.fill()
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					loaded := i%2 == 1
+					label := "idle-cell"
+					if loaded {
+						label = "loaded-cell"
+					}
+					out[i] = Session{
+						Phone:        "Google Nexus 5",
+						Label:        label,
+						EmulatedRTT:  p.BaseRTT,
+						Probes:       p.Probes,
+						CrossTraffic: loaded,
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name:        "psm-sweep",
+			Description: "PSM demotion timer (Tip) sweep 40→200 ms on the Nexus 5",
+			Build: func(p Params) []Session {
+				p.fill()
+				timers := []time.Duration{
+					40 * time.Millisecond, 80 * time.Millisecond, 120 * time.Millisecond,
+					160 * time.Millisecond, 200 * time.Millisecond,
+				}
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					tip := timers[i%len(timers)]
+					out[i] = Session{
+						Phone:       "Google Nexus 5",
+						Label:       fmt.Sprintf("tip=%dms", tip/time.Millisecond),
+						EmulatedRTT: p.BaseRTT,
+						Probes:      p.Probes,
+						PSMTimeout:  tip,
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name:        "rtt-sweep",
+			Description: "Table 5 emulated-path sweep (20/50/85/135 ms) across the device mix",
+			Build: func(p Params) []Session {
+				p.fill()
+				rtts := []time.Duration{
+					20 * time.Millisecond, 50 * time.Millisecond,
+					85 * time.Millisecond, 135 * time.Millisecond,
+				}
+				rng := rand.New(rand.NewSource(SeedFor(p.Seed, -2)))
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					rtt := rtts[i%len(rtts)]
+					model := deviceMix[rng.Intn(len(deviceMix))].model
+					out[i] = Session{
+						Phone:       model,
+						Label:       fmt.Sprintf("rtt=%dms", rtt/time.Millisecond),
+						EmulatedRTT: rtt,
+						Probes:      p.Probes,
+					}
+				}
+				return out
+			},
+		},
+	}
+}
+
+// ScenarioByName resolves a preset.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -6,6 +6,7 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kernel"
@@ -39,9 +40,11 @@ type Measurement struct {
 	// HTTPBody is the response body served for GETs.
 	HTTPBody []byte
 
-	// Stats
-	HTTPRequests uint64
-	UDPEchoes    uint64
+	// Stats. Atomic because fleet campaigns may wire several simulated
+	// phones (each driven by its own worker goroutine) to one shared
+	// server instance.
+	HTTPRequests atomic.Uint64
+	UDPEchoes    atomic.Uint64
 }
 
 // Ports used by the measurement server.
@@ -62,7 +65,7 @@ func NewMeasurement(sim *simtime.Sim, fac *packet.Factory, ip packet.IPv4Addr, t
 	l.OnConn = func(c *kernel.TCPConn) {
 		c.OnData = func(payload []byte, at time.Duration, p *packet.Packet) {
 			if len(payload) >= 4 && string(payload[:4]) == "GET " {
-				m.HTTPRequests++
+				m.HTTPRequests.Add(1)
 				resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", len(m.HTTPBody))
 				c.Send(append([]byte(resp), m.HTTPBody...))
 			}
@@ -73,7 +76,7 @@ func NewMeasurement(sim *simtime.Sim, fac *packet.Factory, ip packet.IPv4Addr, t
 		panic("server: udp echo bind: " + err.Error())
 	}
 	echo.SetRecv(func(payload []byte, from packet.IPv4Addr, fromPort uint16, p *packet.Packet, at time.Duration) {
-		m.UDPEchoes++
+		m.UDPEchoes.Add(1)
 		echo.SendTo(from, fromPort, payload, 0)
 	})
 	return m

@@ -48,8 +48,8 @@ func TestMeasurementHTTP(t *testing.T) {
 	}
 	conn.OnData = func(payload []byte, at time.Duration, p *packet.Packet) { resp = payload }
 	sim.RunUntil(200 * time.Millisecond)
-	if srv.HTTPRequests != 1 {
-		t.Fatalf("server saw %d requests", srv.HTTPRequests)
+	if n := srv.HTTPRequests.Load(); n != 1 {
+		t.Fatalf("server saw %d requests", n)
 	}
 	if !strings.HasPrefix(string(resp), "HTTP/1.1 200 OK") {
 		t.Fatalf("response = %q", resp)
@@ -71,8 +71,8 @@ func TestMeasurementUDPEcho(t *testing.T) {
 	if string(reply) != "probe" {
 		t.Fatalf("echo reply = %q", reply)
 	}
-	if srv.UDPEchoes != 1 {
-		t.Fatalf("echoes = %d", srv.UDPEchoes)
+	if n := srv.UDPEchoes.Load(); n != 1 {
+		t.Fatalf("echoes = %d", n)
 	}
 }
 

@@ -94,8 +94,8 @@ func TestHTTPing(t *testing.T) {
 	if m < 31 || m > 55 {
 		t.Errorf("httping mean = %.2fms", m)
 	}
-	if tb.Server.HTTPRequests < 25 {
-		t.Errorf("server served %d requests", tb.Server.HTTPRequests)
+	if tb.Server.HTTPRequests.Load() < 25 {
+		t.Errorf("server served %d requests", tb.Server.HTTPRequests.Load())
 	}
 }
 

@@ -7,6 +7,7 @@
 package wired
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -50,12 +51,14 @@ type port struct {
 	egress  simtime.Dist // switch → node
 }
 
-// Stats counts wired-network events.
+// Stats counts wired-network events. Atomic for the same reason as
+// server.Measurement's counters: fleet campaigns may one day wire
+// several worker-driven phones through one shared segment.
 type Stats struct {
-	Forwarded      uint64
-	DroppedTTL     uint64
-	DroppedNoRoute uint64
-	TimeExceeded   uint64
+	Forwarded      atomic.Uint64
+	DroppedTTL     atomic.Uint64
+	DroppedNoRoute atomic.Uint64
+	TimeExceeded   atomic.Uint64
 }
 
 // Network is the switch + gateway combination.
@@ -123,7 +126,7 @@ func (n *Network) FromWLAN(p *packet.Packet) {
 	}
 	if ip.TTL <= 1 {
 		ip.TTL = 0
-		n.Stats.DroppedTTL++
+		n.Stats.DroppedTTL.Add(1)
 		n.maybeTimeExceeded(p)
 		return
 	}
@@ -138,7 +141,7 @@ func (n *Network) route(p *packet.Packet) {
 		return
 	}
 	if prt, ok := n.ports[ip.Dst]; ok {
-		n.Stats.Forwarded++
+		n.Stats.Forwarded.Add(1)
 		d := n.sample(n.cfg.FabricLatency) + n.sample(prt.egress)
 		n.sim.Schedule(d, func() { prt.node.DeliverFromDevice(p) })
 		return
@@ -148,16 +151,16 @@ func (n *Network) route(p *packet.Packet) {
 		// decrements TTL) before handing the packet to the AP.
 		if ip.TTL <= 1 {
 			ip.TTL = 0
-			n.Stats.DroppedTTL++
+			n.Stats.DroppedTTL.Add(1)
 			n.maybeTimeExceeded(p)
 			return
 		}
 		ip.TTL--
-		n.Stats.Forwarded++
+		n.Stats.Forwarded.Add(1)
 		n.sim.Schedule(n.sample(n.cfg.FabricLatency), func() { n.toWLAN(p) })
 		return
 	}
-	n.Stats.DroppedNoRoute++
+	n.Stats.DroppedNoRoute.Add(1)
 }
 
 // maybeTimeExceeded emits a rate-limited ICMP time-exceeded error toward
@@ -170,7 +173,7 @@ func (n *Network) maybeTimeExceeded(orig *packet.Packet) {
 		return
 	}
 	n.lastTimeExceeded = n.sim.Now()
-	n.Stats.TimeExceeded++
+	n.Stats.TimeExceeded.Add(1)
 	ip := orig.IPv4()
 	reply := n.fac.NewPacket(
 		&packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: n.cfg.GatewayIP, Dst: ip.Src},

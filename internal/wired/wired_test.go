@@ -49,8 +49,8 @@ func TestHostToHostForwarding(t *testing.T) {
 	if len(a.got) != 0 {
 		t.Fatal("sender received its own packet")
 	}
-	if n.Stats.Forwarded != 1 {
-		t.Fatalf("forwarded = %d", n.Stats.Forwarded)
+	if n.Stats.Forwarded.Load() != 1 {
+		t.Fatalf("forwarded = %d", n.Stats.Forwarded.Load())
 	}
 }
 
@@ -98,8 +98,8 @@ func TestTTL1DroppedAtGateway(t *testing.T) {
 	if len(server.got) != 0 {
 		t.Fatal("TTL=1 packet crossed the gateway")
 	}
-	if n.Stats.DroppedTTL != 1 {
-		t.Fatalf("dropped = %d", n.Stats.DroppedTTL)
+	if n.Stats.DroppedTTL.Load() != 1 {
+		t.Fatalf("dropped = %d", n.Stats.DroppedTTL.Load())
 	}
 }
 
@@ -126,8 +126,8 @@ func TestNoRouteDropped(t *testing.T) {
 	send := n.AttachHost(server, nil, nil)
 	send(udpPacket(fac, server.ip, packet.IP(203, 0, 113, 5), 64))
 	sim.RunUntil(10 * time.Millisecond)
-	if n.Stats.DroppedNoRoute != 1 {
-		t.Fatalf("no-route drops = %d", n.Stats.DroppedNoRoute)
+	if n.Stats.DroppedNoRoute.Load() != 1 {
+		t.Fatalf("no-route drops = %d", n.Stats.DroppedNoRoute.Load())
 	}
 }
 
@@ -145,8 +145,8 @@ func TestTimeExceededReplyRateLimited(t *testing.T) {
 		})
 	}
 	sim.RunUntil(990 * time.Millisecond)
-	if n.Stats.TimeExceeded != 1 {
-		t.Fatalf("time-exceeded sent %d, want 1 (rate limit)", n.Stats.TimeExceeded)
+	if n.Stats.TimeExceeded.Load() != 1 {
+		t.Fatalf("time-exceeded sent %d, want 1 (rate limit)", n.Stats.TimeExceeded.Load())
 	}
 	if len(toWLAN) != 1 {
 		t.Fatalf("wlan got %d errors", len(toWLAN))
@@ -159,8 +159,8 @@ func TestTimeExceededReplyRateLimited(t *testing.T) {
 	sim.RunUntil(3 * time.Second)
 	n.FromWLAN(udpPacket(fac, packet.IP(192, 168, 1, 2), packet.IP(10, 0, 0, 9), 1))
 	sim.RunUntil(4 * time.Second)
-	if n.Stats.TimeExceeded != 2 {
-		t.Fatalf("time-exceeded after window = %d, want 2", n.Stats.TimeExceeded)
+	if n.Stats.TimeExceeded.Load() != 2 {
+		t.Fatalf("time-exceeded after window = %d, want 2", n.Stats.TimeExceeded.Load())
 	}
 }
 
@@ -171,7 +171,7 @@ func TestTimeExceededDisabledByDefault(t *testing.T) {
 		func(ip packet.IPv4Addr) bool { return ip[0] == 192 })
 	n.FromWLAN(udpPacket(fac, packet.IP(192, 168, 1, 2), packet.IP(10, 0, 0, 9), 1))
 	sim.RunUntil(time.Second)
-	if len(toWLAN) != 0 || n.Stats.TimeExceeded != 0 {
+	if len(toWLAN) != 0 || n.Stats.TimeExceeded.Load() != 0 {
 		t.Fatal("time-exceeded sent despite being disabled")
 	}
 }
