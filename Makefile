@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt ci
+.PHONY: build test race bench bench-json lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Machine-readable benchmark record for the perf trajectory (ns/op,
+# summaries/sec), archived as BENCH_2.json by the CI bench job. Two
+# steps so a go test failure stops make instead of hiding in a pipe;
+# CI runs this exact target, keeping local and CI artifacts identical.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-out.txt
+	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_2.json
+	@echo "wrote BENCH_2.json"
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,4 +35,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race bench
+ci: build lint race bench-json

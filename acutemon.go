@@ -26,9 +26,11 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/live"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -197,3 +199,35 @@ func CampaignScenarios() []CampaignScenario { return fleet.Scenarios() }
 func CampaignScenarioByName(name string) (CampaignScenario, bool) {
 	return fleet.ScenarioByName(name)
 }
+
+// Mergeable streaming aggregates (shared by fleet campaign reports and
+// the ingest store): Welford moments and fixed-range histograms whose
+// chunked partial results merge into whole-sample totals.
+type (
+	// Moments is a mergeable count/mean/variance/min/max accumulator.
+	Moments = agg.Moments
+	// Hist is a mergeable fixed-range duration histogram.
+	Hist = agg.Hist
+)
+
+// Crowd-scale ingestion surface. An IngestServer accepts batched
+// per-session summaries over HTTP, punctures every reported RTT online
+// against the calibration database, and serves raw-vs-corrected
+// windowed aggregates at /stats, /models, and /healthz.
+type (
+	// IngestConfig parameterises an ingest server.
+	IngestConfig = ingest.Config
+	// IngestServer is a running ingestion + query service.
+	IngestServer = ingest.Server
+	// IngestSummary is the per-session wire record devices post.
+	IngestSummary = ingest.Summary
+	// IngestLoadGen streams fleet campaigns (or recorded reports)
+	// through the wire protocol.
+	IngestLoadGen = ingest.LoadGen
+	// IngestRollup selects the /stats aggregation dimensions.
+	IngestRollup = ingest.Rollup
+)
+
+// StartIngest starts an ingest server; stop it with Shutdown (which
+// drains in-flight batches).
+func StartIngest(cfg IngestConfig) (*IngestServer, error) { return ingest.Start(cfg) }

@@ -5,15 +5,25 @@
 // Usage:
 //
 //	acutemon-fleet [-scenario device-mix] [-sessions 1000] [-workers 0]
-//	               [-probes 100] [-rtt 30ms] [-seed 1]
+//	               [-probes 100] [-rtt 30ms] [-seed 1] [-json]
 //	               [-registry fleet.json] [-calibrate] [-progress]
 //	acutemon-fleet -list
+//
+// SIGINT/SIGTERM stop dispatching at the next session boundary, drain
+// in-flight sessions, and print a partial report instead of dying
+// mid-run. -json emits the machine-readable CampaignReport on stdout —
+// replayable through `acutemon-ingestd -replay` and diffable for CI
+// trend tracking.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	acutemon "repro"
@@ -30,7 +40,15 @@ func main() {
 	registryPath := flag.String("registry", "", "calibration database JSON: loaded if present, saved after the run")
 	calibrate := flag.Bool("calibrate", false, "auto-calibrate models missing from the registry (implies a shared registry)")
 	progress := flag.Bool("progress", false, "print one line per 100 finished sessions")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable CampaignReport as JSON on stdout")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON document; everything
+	// informational goes to stderr.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
 
 	if *list {
 		fmt.Println("campaign scenarios:")
@@ -46,11 +64,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Restore default signal behavior once the first signal lands, so a
+	// second Ctrl-C force-quits a slow drain instead of being swallowed.
+	context.AfterFunc(ctx, stop)
+
 	c := acutemon.Campaign{
 		Name:     *scenario,
 		Scenario: *scenario,
 		Seed:     *seed,
 		Workers:  *workers,
+		Context:  ctx,
 		Sessions: sc.Build(acutemon.CampaignParams{
 			Sessions: *sessions,
 			Seed:     *seed,
@@ -73,7 +98,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "registry %s: %v\n", *registryPath, err)
 					os.Exit(1)
 				}
-				fmt.Printf("loaded %d calibrated model(s) from %s\n", reg.Len(), *registryPath)
+				fmt.Fprintf(info, "loaded %d calibrated model(s) from %s\n", reg.Len(), *registryPath)
 			} else if !os.IsNotExist(err) {
 				fmt.Fprintln(os.Stderr, "registry:", err)
 				os.Exit(1)
@@ -89,7 +114,7 @@ func main() {
 		c.OnSession = func(r acutemon.CampaignSessionResult) {
 			done++
 			if done%100 == 0 {
-				fmt.Printf("  %d/%d sessions done\n", done, total)
+				fmt.Fprintf(info, "  %d/%d sessions done\n", done, total)
 			}
 		}
 	}
@@ -99,7 +124,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}
-	fmt.Print(rep.Render())
+	if rep.Interrupted && *jsonOut {
+		// The rendered table says this itself; only the JSON path needs
+		// the stderr note.
+		fmt.Fprintln(info, "interrupted: partial report over finished sessions")
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "encoding report:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep.Render())
+	}
 
 	if c.Registry != nil && *registryPath != "" {
 		f, err := os.Create(*registryPath)
@@ -113,7 +152,7 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("saved %d calibrated model(s) to %s\n", c.Registry.Len(), *registryPath)
+		fmt.Fprintf(info, "saved %d calibrated model(s) to %s\n", c.Registry.Len(), *registryPath)
 	}
 
 	if rep.Errors > 0 {

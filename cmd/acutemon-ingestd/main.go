@@ -1,0 +1,301 @@
+// Command acutemon-ingestd runs the crowd-scale ingestion + live
+// puncturing service: devices POST per-session measurement summaries
+// (JSON lines, batched) to /v1/ingest; every reported RTT is punctured
+// online against the calibration database and folded — raw and
+// corrected side by side — into time-windowed aggregates served at
+// /stats, /models, and /healthz.
+//
+// Usage:
+//
+//	acutemon-ingestd [-addr 127.0.0.1:7777] [-window 1m] [-queue 256]
+//	                 [-fold-workers 0] [-max-conns 512] [-registry fleet.json]
+//	acutemon-ingestd -loadgen [-scenario device-mix] [-sessions 1000]
+//	                 [-probes 100] [-rtt 30ms] [-seed 1] [-batch 100]
+//	                 [-workers 0] [-target http://host:port]
+//	acutemon-ingestd -replay report.json [-target http://host:port]
+//
+// The default mode serves until SIGINT/SIGTERM, then drains in-flight
+// batches and prints the final aggregate table. -loadgen demonstrates
+// the whole pipeline in one command: a seeded fleet campaign streams
+// through the real wire protocol into a live ingestd (embedded loopback
+// unless -target points elsewhere), and the queried aggregates are
+// checked against the offline campaign report for the same seed.
+// -replay streams a recorded cmd/acutemon-fleet -json report instead of
+// simulating.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	window := flag.Duration("window", time.Minute, "aggregation window width (0 disables time bucketing)")
+	queue := flag.Int("queue", 256, "batch queue depth (full queue sheds with 503)")
+	foldWorkers := flag.Int("fold-workers", 0, "fold worker count (0 = GOMAXPROCS)")
+	maxConns := flag.Int("max-conns", 512, "max concurrently accepted connections")
+	maxCells := flag.Int64("max-cells", 0, "distinct aggregation cell cap (0 = default, negative = uncapped)")
+	retention := flag.Duration("retention", 0, "prune windows older than this (0 = 24h, negative = keep forever)")
+	registryPath := flag.String("registry", "", "calibration database JSON to serve and puncture against")
+
+	loadgen := flag.Bool("loadgen", false, "run a fleet campaign through the wire protocol and verify the aggregates")
+	scenario := flag.String("scenario", "device-mix", "loadgen campaign preset")
+	sessions := flag.Int("sessions", 1000, "loadgen session count")
+	workers := flag.Int("workers", 0, "loadgen campaign workers (0 = GOMAXPROCS)")
+	probes := flag.Int("probes", 100, "loadgen probes per session")
+	rtt := flag.Duration("rtt", 30*time.Millisecond, "loadgen base emulated path RTT")
+	seed := flag.Int64("seed", 1, "loadgen campaign seed")
+	batch := flag.Int("batch", 100, "loadgen summaries per POST")
+	target := flag.String("target", "", "loadgen/replay target base URL (default: embedded loopback server)")
+	replayPath := flag.String("replay", "", "replay a recorded campaign report (cmd/acutemon-fleet -json) through the wire")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Restore default signal behavior once the first signal lands, so a
+	// second Ctrl-C force-quits a wedged drain instead of being
+	// swallowed.
+	context.AfterFunc(ctx, stop)
+
+	var registry *core.ShardedRegistry
+	if *registryPath != "" {
+		f, err := os.Open(*registryPath)
+		if err != nil {
+			fatal("registry: %v", err)
+		}
+		plain, err := core.LoadRegistry(f)
+		f.Close()
+		if err != nil {
+			fatal("registry %s: %v", *registryPath, err)
+		}
+		registry = core.NewShardedRegistry(0)
+		if err := registry.Load(plain); err != nil {
+			fatal("registry %s: %v", *registryPath, err)
+		}
+		fmt.Printf("loaded %d calibrated model(s) from %s\n", registry.Len(), *registryPath)
+	}
+
+	cfg := ingest.Config{
+		Addr:        *addr,
+		Window:      *window,
+		QueueDepth:  *queue,
+		FoldWorkers: *foldWorkers,
+		MaxConns:    *maxConns,
+		MaxCells:    *maxCells,
+		Retention:   *retention,
+		Registry:    registry,
+	}
+	if *window == 0 {
+		cfg.Window = -1
+	}
+
+	switch {
+	case *replayPath != "":
+		runReplay(ctx, cfg, *replayPath, *target, *batch)
+	case *loadgen:
+		runLoadgen(ctx, cfg, loadgenSpec{
+			scenario: *scenario, sessions: *sessions, workers: *workers,
+			probes: *probes, rtt: *rtt, seed: *seed, batch: *batch, target: *target,
+		})
+	default:
+		serve(ctx, cfg)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// serve runs the daemon until the context is cancelled (SIGINT or
+// SIGTERM), then drains and prints the final aggregates.
+func serve(ctx context.Context, cfg ingest.Config) {
+	s, err := ingest.Start(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("acutemon-ingestd listening on %s (POST /v1/ingest; GET /stats /models /healthz)\n", s.Addr())
+	<-ctx.Done()
+	fmt.Println("signal received; draining in-flight batches…")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	printStats(s, ingest.RollupGroup)
+}
+
+// printStats renders the server's current aggregates plus counters.
+func printStats(s *ingest.Server, by ingest.Rollup) {
+	cellStats, err := s.Store().StatsQuery(by)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "query:", err)
+		return
+	}
+	resp := ingest.StatsResponse{Rollup: by, Cells: cellStats}
+	fmt.Print(ingest.RenderStats(resp))
+	m := s.MetricsSnapshot()
+	fmt.Printf("batches: %d accepted, %d shed (backpressure), %d malformed; summaries folded: %d (%d RTTs)\n",
+		m["accepted_batches"], m["rejected_batches"], m["bad_batches"],
+		m["folded_summaries"], m["folded_samples"])
+}
+
+type loadgenSpec struct {
+	scenario string
+	sessions int
+	workers  int
+	probes   int
+	rtt      time.Duration
+	seed     int64
+	batch    int
+	target   string
+}
+
+// runLoadgen streams a seeded campaign through the real wire protocol
+// and, when the server is embedded, verifies the queried aggregates
+// against the campaign's own offline report.
+func runLoadgen(ctx context.Context, cfg ingest.Config, spec loadgenSpec) {
+	sc, ok := fleet.ScenarioByName(spec.scenario)
+	if !ok {
+		fatal("unknown scenario %q; see acutemon-fleet -list", spec.scenario)
+	}
+	campaign := fleet.Campaign{
+		Name:     spec.scenario,
+		Scenario: spec.scenario,
+		Seed:     spec.seed,
+		Workers:  spec.workers,
+		Sessions: sc.Build(fleet.Params{
+			Sessions: spec.sessions, Seed: spec.seed, Probes: spec.probes, BaseRTT: spec.rtt,
+		}),
+		Registry: cfg.Registry,
+	}
+
+	url, embedded := spec.target, (*ingest.Server)(nil)
+	lg := &ingest.LoadGen{URL: url, BatchSize: spec.batch}
+	if url == "" {
+		cfg.Addr = "127.0.0.1:0"
+		cfg.Window = -1 // one window, so the comparison is exact
+		s, err := ingest.Start(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		embedded = s
+		lg.URL = s.URL()
+		// Pin event time only for the embedded determinism check; a
+		// remote target gets real wall-clock stamps so its windows form
+		// a live time series.
+		lg.TimeMS = 1
+		fmt.Printf("embedded ingestd on %s\n", s.Addr())
+	}
+	start := time.Now()
+	rep, err := lg.StreamCampaign(ctx, campaign)
+	// A signal mid-campaign cancels ctx: the campaign drains into a
+	// partial report and the trailing flush fails with context.Canceled.
+	// That is the promised graceful path — print the partial aggregates
+	// instead of dying — while any other send error is fatal.
+	interrupted := ctx.Err() != nil || (rep != nil && rep.Interrupted)
+	if err != nil && !(interrupted && errors.Is(err, context.Canceled)) {
+		fatal("loadgen: %v", err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("streamed %d session summaries in %v (%.0f summaries/s wire rate)\n",
+		lg.Sent(), wall.Round(time.Millisecond), float64(lg.Sent())/wall.Seconds())
+	if interrupted {
+		fmt.Println("campaign interrupted: partial stream; verification skipped")
+	}
+
+	if embedded == nil {
+		fmt.Printf("remote target %s; fetch %s/stats?format=table for aggregates\n", url, url)
+		fmt.Print(rep.Render())
+		return
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := embedded.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	printStats(embedded, ingest.RollupGroup)
+	if !interrupted {
+		verify(embedded, rep)
+	}
+}
+
+// verify compares the ingested per-group aggregates against the
+// campaign's offline report — the determinism demonstration, sharing
+// the acceptance test's checker.
+func verify(s *ingest.Server, rep *fleet.Report) {
+	mismatches, maxMeanRel := ingest.VerifyAgainstReport(s.Store(), rep)
+	if len(mismatches) > 0 {
+		for _, m := range mismatches {
+			fmt.Println("MISMATCH", m)
+		}
+		fmt.Printf("verification FAILED: %d mismatch(es) between ingested and offline aggregates\n", len(mismatches))
+		os.Exit(1)
+	}
+	fmt.Printf("verified: ingested aggregates match the offline campaign report for seed (%d groups; max mean drift %.2g relative)\n",
+		len(rep.Groups), maxMeanRel)
+}
+
+// runReplay streams a recorded campaign report through the wire.
+func runReplay(ctx context.Context, cfg ingest.Config, path, target string, batch int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("replay: %v", err)
+	}
+	rep, err := decodeReport(f)
+	f.Close()
+	if err != nil {
+		fatal("replay %s: %v", path, err)
+	}
+
+	url, embedded := target, (*ingest.Server)(nil)
+	if url == "" {
+		cfg.Addr = "127.0.0.1:0"
+		s, err := ingest.Start(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		embedded = s
+		url = s.URL()
+		fmt.Printf("embedded ingestd on %s\n", s.Addr())
+	}
+	lg := &ingest.LoadGen{URL: url, BatchSize: batch}
+	posted, err := lg.ReplayReport(ctx, rep)
+	if err != nil {
+		fatal("replay: %v", err)
+	}
+	fmt.Printf("replayed %d session summaries from %s (campaign %q, scenario %s)\n",
+		posted, path, rep.Name, rep.Scenario)
+	if embedded != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := embedded.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+		}
+		printStats(embedded, ingest.RollupGroup)
+	}
+}
+
+func decodeReport(r io.Reader) (*fleet.Report, error) {
+	var rep fleet.Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if len(rep.Groups) == 0 {
+		return nil, fmt.Errorf("report has no groups")
+	}
+	return &rep, nil
+}

@@ -1,0 +1,89 @@
+// Example ingestd: the crowd-measurement pipeline end to end on
+// loopback. An embedded ingest server comes up, a seeded 60-phone
+// campaign streams its session summaries through the real wire
+// protocol, and the live aggregates — raw reported delay next to the
+// punctured (de-inflated) delay — are queried back over HTTP exactly
+// as a dashboard would.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	acutemon "repro"
+)
+
+func main() {
+	// 1. A live ingest service on an ephemeral loopback port. Window -1
+	// keeps everything in one time bucket so the numbers below are
+	// deterministic for the seed.
+	srv, err := acutemon.StartIngest(acutemon.IngestConfig{Window: -1})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ingestd listening on %s\n", srv.Addr())
+
+	// 2. Sixty phones measure and report: a seeded device-mix campaign
+	// whose finished sessions are posted as JSON-lines batches.
+	sc, _ := acutemon.CampaignScenarioByName("device-mix")
+	lg := &acutemon.IngestLoadGen{URL: srv.URL(), BatchSize: 20, TimeMS: 1}
+	rep, err := lg.StreamCampaign(context.Background(), acutemon.Campaign{
+		Name:     "example",
+		Scenario: "device-mix",
+		Seed:     11,
+		Sessions: sc.Build(acutemon.CampaignParams{Sessions: 60, Seed: 11, Probes: 20}),
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("streamed %d summaries from %d sessions\n", lg.Sent(), rep.Sessions)
+
+	// 3. Folding is asynchronous behind the batch queue; poll /healthz
+	// until every accepted summary has landed.
+	for {
+		var health struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		getJSON(srv.URL()+"/healthz", &health)
+		if health.Counters["folded_summaries"] >= lg.Sent() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// 4. Query the aggregates over the wire like any monitoring client.
+	resp, err := http.Get(srv.URL() + "/stats?by=group&format=table")
+	if err != nil {
+		fail(err)
+	}
+	table, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Print(string(table))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+}
+
+func getJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

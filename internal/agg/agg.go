@@ -1,0 +1,206 @@
+// Package agg provides the repo's mergeable streaming aggregates:
+// Welford moments and fixed-range histograms whose partial results,
+// built over disjoint chunks of a sample in any order, merge into the
+// same totals as one accumulator over the whole sample. This property
+// is what lets both the fleet scheduler (worker-local folds merged at
+// campaign end) and the ingest service (lock-striped windowed cells
+// merged at query time) aggregate without ever holding raw samples.
+//
+// Promoted out of internal/fleet so fleet and ingest share one
+// implementation; fleet keeps type aliases for compatibility.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Moments is a mergeable streaming accumulator for count, mean,
+// variance (via Welford's M2), min, and max. Two Moments built over
+// disjoint halves of a sample and merged with Merge agree with one
+// Moments built over the whole sample (up to float rounding).
+type Moments struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	MinV float64 `json:"min"`
+	MaxV float64 `json:"max"`
+}
+
+// Add folds one observation in.
+func (m *Moments) Add(v float64) {
+	m.N++
+	if m.N == 1 {
+		m.Mean, m.M2, m.MinV, m.MaxV = v, 0, v, v
+		return
+	}
+	d := v - m.Mean
+	m.Mean += d / float64(m.N)
+	m.M2 += d * (v - m.Mean)
+	if v < m.MinV {
+		m.MinV = v
+	}
+	if v > m.MaxV {
+		m.MaxV = v
+	}
+}
+
+// Merge folds another accumulator in (Chan et al.'s parallel variance
+// update).
+func (m *Moments) Merge(o Moments) {
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = o
+		return
+	}
+	n1, n2 := float64(m.N), float64(o.N)
+	delta := o.Mean - m.Mean
+	tot := n1 + n2
+	m.M2 += o.M2 + delta*delta*n1*n2/tot
+	m.Mean += delta * n2 / tot
+	if o.MinV < m.MinV {
+		m.MinV = o.MinV
+	}
+	if o.MaxV > m.MaxV {
+		m.MaxV = o.MaxV
+	}
+	m.N += o.N
+}
+
+// Variance returns the unbiased sample variance.
+func (m Moments) Variance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.N-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m Moments) Stddev() float64 { return math.Sqrt(m.Variance()) }
+
+// MeanDuration interprets the accumulator as nanosecond observations.
+func (m Moments) MeanDuration() time.Duration { return time.Duration(m.Mean) }
+
+// Hist is a mergeable fixed-range histogram over durations. Counts of
+// two histograms with identical geometry add exactly, so — unlike exact
+// quantiles — histogram-based quantile estimates are order- and
+// partition-independent.
+type Hist struct {
+	Lo     time.Duration `json:"lo_ns"`
+	Hi     time.Duration `json:"hi_ns"`
+	Counts []int64       `json:"counts"`
+	Under  int64         `json:"under"`
+	Over   int64         `json:"over"`
+}
+
+// Campaign-level user-RTT histogram geometry: 0.5 ms resolution up to
+// 500 ms, which covers every scenario in the paper (the worst cellular
+// promotions excepted — those land in Over).
+const (
+	DurationHistLo   = 0
+	DurationHistHi   = 500 * time.Millisecond
+	DurationHistBins = 1000
+)
+
+// NewHist builds a histogram with the given geometry.
+func NewHist(lo, hi time.Duration, bins int) *Hist {
+	if bins <= 0 {
+		bins = 1
+	}
+	return &Hist{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// NewDurationHist builds a histogram with the repo-standard user-RTT
+// geometry, shared by fleet campaign reports and ingest windows so
+// their quantile estimates are directly comparable.
+func NewDurationHist() *Hist { return NewHist(DurationHistLo, DurationHistHi, DurationHistBins) }
+
+// BucketWidth returns the width of one bin.
+func (h *Hist) BucketWidth() time.Duration {
+	if len(h.Counts) == 0 {
+		return 0
+	}
+	return (h.Hi - h.Lo) / time.Duration(len(h.Counts))
+}
+
+// Add folds one duration in.
+func (h *Hist) Add(d time.Duration) {
+	switch {
+	case d < h.Lo:
+		h.Under++
+	case d >= h.Hi:
+		h.Over++
+	default:
+		idx := int(int64(d-h.Lo) * int64(len(h.Counts)) / int64(h.Hi-h.Lo))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Merge adds another histogram's counts; geometries must match.
+func (h *Hist) Merge(o *Hist) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("agg: merging histograms with different geometry: [%v,%v)×%d vs [%v,%v)×%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.Counts = make([]int64, len(h.Counts))
+	copy(c.Counts, h.Counts)
+	return &c
+}
+
+// N returns the total count including out-of-range observations.
+func (h *Hist) N() int64 {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0..1) as the upper edge of the
+// bin where the cumulative count crosses q·N. Under-range mass resolves
+// to Lo and over-range mass to Hi.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.Under
+	if cum >= target {
+		return h.Lo
+	}
+	width := float64(h.Hi-h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.Lo + time.Duration(float64(i+1)*width)
+		}
+	}
+	return h.Hi
+}

@@ -80,6 +80,16 @@ func (r *Registry) Models() []string {
 // Len returns the number of entries.
 func (r *Registry) Len() int { return len(r.entries) }
 
+// Entries returns every stored entry, sorted by model — the form query
+// services serve directly as JSON.
+func (r *Registry) Entries() []RegistryEntry {
+	out := make([]RegistryEntry, 0, len(r.entries))
+	for _, m := range r.Models() {
+		out = append(out, r.entries[m])
+	}
+	return out
+}
+
 // ConfigFor returns an AcuteMon Config preloaded with the stored
 // dpre/db for the model.
 func (r *Registry) ConfigFor(model string, base Config) (Config, bool) {

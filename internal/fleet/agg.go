@@ -2,218 +2,70 @@ package fleet
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
-// Moments is a mergeable streaming accumulator for count, mean,
-// variance (via Welford's M2), min, and max. Two Moments built over
-// disjoint halves of a sample and merged with Merge agree with one
-// Moments built over the whole sample (up to float rounding), which is
-// what lets fleet workers aggregate locally and combine at the end
-// without ever holding raw samples.
-type Moments struct {
-	N        int64
-	Mean, M2 float64
-	MinV     float64
-	MaxV     float64
-}
-
-// Add folds one observation in.
-func (m *Moments) Add(v float64) {
-	m.N++
-	if m.N == 1 {
-		m.Mean, m.M2, m.MinV, m.MaxV = v, 0, v, v
-		return
-	}
-	d := v - m.Mean
-	m.Mean += d / float64(m.N)
-	m.M2 += d * (v - m.Mean)
-	if v < m.MinV {
-		m.MinV = v
-	}
-	if v > m.MaxV {
-		m.MaxV = v
-	}
-}
-
-// Merge folds another accumulator in (Chan et al.'s parallel variance
-// update).
-func (m *Moments) Merge(o Moments) {
-	if o.N == 0 {
-		return
-	}
-	if m.N == 0 {
-		*m = o
-		return
-	}
-	n1, n2 := float64(m.N), float64(o.N)
-	delta := o.Mean - m.Mean
-	tot := n1 + n2
-	m.M2 += o.M2 + delta*delta*n1*n2/tot
-	m.Mean += delta * n2 / tot
-	if o.MinV < m.MinV {
-		m.MinV = o.MinV
-	}
-	if o.MaxV > m.MaxV {
-		m.MaxV = o.MaxV
-	}
-	m.N += o.N
-}
-
-// Variance returns the unbiased sample variance.
-func (m Moments) Variance() float64 {
-	if m.N < 2 {
-		return 0
-	}
-	return m.M2 / float64(m.N-1)
-}
-
-// Stddev returns the sample standard deviation.
-func (m Moments) Stddev() float64 { return math.Sqrt(m.Variance()) }
-
-// MeanDuration interprets the accumulator as nanosecond observations.
-func (m Moments) MeanDuration() time.Duration { return time.Duration(m.Mean) }
-
-// Hist is a mergeable fixed-range histogram over durations. Counts of
-// two histograms with identical geometry add exactly, so — unlike exact
-// quantiles — histogram-based quantile estimates are order- and
-// partition-independent.
-type Hist struct {
-	Lo, Hi time.Duration
-	Counts []int64
-	Under  int64
-	Over   int64
-}
-
-// Campaign-level user-RTT histogram geometry: 0.5 ms resolution up to
-// 500 ms, which covers every scenario in the paper (the worst cellular
-// promotions excepted — those land in Over).
-const (
-	histLo   = 0
-	histHi   = 500 * time.Millisecond
-	histBins = 1000
+// Moments and Hist were born here and now live in internal/agg so the
+// ingest service folds with the same implementation the campaign
+// scheduler merges with. The aliases keep every existing fleet caller
+// compiling unchanged.
+type (
+	// Moments is a mergeable streaming accumulator for count, mean,
+	// variance, min, and max. See agg.Moments.
+	Moments = agg.Moments
+	// Hist is a mergeable fixed-range histogram over durations. See
+	// agg.Hist.
+	Hist = agg.Hist
 )
 
 // NewHist builds a histogram with the given geometry.
-func NewHist(lo, hi time.Duration, bins int) *Hist {
-	if bins <= 0 {
-		bins = 1
-	}
-	return &Hist{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
-}
+func NewHist(lo, hi time.Duration, bins int) *Hist { return agg.NewHist(lo, hi, bins) }
 
-func newDuHist() *Hist { return NewHist(histLo, histHi, histBins) }
-
-// Add folds one duration in.
-func (h *Hist) Add(d time.Duration) {
-	switch {
-	case d < h.Lo:
-		h.Under++
-	case d >= h.Hi:
-		h.Over++
-	default:
-		idx := int(int64(d-h.Lo) * int64(len(h.Counts)) / int64(h.Hi-h.Lo))
-		if idx >= len(h.Counts) {
-			idx = len(h.Counts) - 1
-		}
-		h.Counts[idx]++
-	}
-}
-
-// Merge adds another histogram's counts; geometries must match.
-func (h *Hist) Merge(o *Hist) error {
-	if o == nil {
-		return nil
-	}
-	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
-		return fmt.Errorf("fleet: merging histograms with different geometry: [%v,%v)×%d vs [%v,%v)×%d",
-			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
-	}
-	h.Under += o.Under
-	h.Over += o.Over
-	for i, c := range o.Counts {
-		h.Counts[i] += c
-	}
-	return nil
-}
-
-// N returns the total count including out-of-range observations.
-func (h *Hist) N() int64 {
-	n := h.Under + h.Over
-	for _, c := range h.Counts {
-		n += c
-	}
-	return n
-}
-
-// Quantile estimates the q-th quantile (0..1) as the upper edge of the
-// bin where the cumulative count crosses q·N. Under-range mass resolves
-// to Lo and over-range mass to Hi.
-func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.N()
-	if n == 0 {
-		return 0
-	}
-	target := int64(math.Ceil(q * float64(n)))
-	if target < 1 {
-		target = 1
-	}
-	cum := h.Under
-	if cum >= target {
-		return h.Lo
-	}
-	width := float64(h.Hi-h.Lo) / float64(len(h.Counts))
-	for i, c := range h.Counts {
-		cum += c
-		if cum >= target {
-			return h.Lo + time.Duration(float64(i+1)*width)
-		}
-	}
-	return h.Hi
-}
+func newDuHist() *Hist { return agg.NewDurationHist() }
 
 // GroupAggregate is the campaign-level fold of every session sharing one
 // scenario label. All fields merge exactly (counts, histogram) or
 // stably (moments), so per-worker aggregates combine into the same
 // report regardless of how sessions were scheduled.
 type GroupAggregate struct {
-	Label    string
-	Sessions int64
+	Label    string `json:"label"`
+	Sessions int64  `json:"sessions"`
 	// Errors counts sessions that failed to run at all.
-	Errors int64
+	Errors int64 `json:"errors,omitempty"`
 
 	// Probe accounting across the group.
-	ProbesSent, ProbesLost int64
-	BackgroundSent         int64
+	ProbesSent     int64 `json:"probes_sent"`
+	ProbesLost     int64 `json:"probes_lost"`
+	BackgroundSent int64 `json:"background_sent"`
 
 	// Du folds every user-level RTT observation (ns) of the group; DuHist
 	// backs the campaign delay-distribution quantiles.
-	Du     Moments
-	DuHist *Hist
+	Du     Moments `json:"du"`
+	DuHist *Hist   `json:"du_hist"`
 
 	// Inflation folds per-session inflation factors
 	// (mean du ÷ emulated path RTT; dimensionless).
-	Inflation Moments
+	Inflation Moments `json:"inflation"`
 
 	// UserOverhead / SDIOOverhead fold per-session mean Δdu−k and Δdk−n
 	// (ns): the paper's user-space and host-bus attribution.
-	UserOverhead Moments
-	SDIOOverhead Moments
+	UserOverhead Moments `json:"user_overhead"`
+	SDIOOverhead Moments `json:"sdio_overhead"`
 	// PSMInflation folds per-session mean(dn) − emulated RTT (ns): delay
 	// added on the air path itself, the PSM/AP-buffering share.
-	PSMInflation Moments
+	PSMInflation Moments `json:"psm_inflation"`
 
 	// PSMActiveSessions counts sessions whose capture showed power-save
 	// activity; CalibratedSessions counts sessions that measured with
 	// registry-supplied dpre/db.
-	PSMActiveSessions  int64
-	CalibratedSessions int64
+	PSMActiveSessions  int64 `json:"psm_active_sessions"`
+	CalibratedSessions int64 `json:"calibrated_sessions"`
 }
 
 func newGroupAggregate(label string) *GroupAggregate {
@@ -283,23 +135,29 @@ func (g *GroupAggregate) LossRate() float64 {
 	return float64(g.ProbesLost) / float64(g.ProbesSent)
 }
 
-// Report is the result of a campaign run.
+// Report is the result of a campaign run. It marshals to JSON as a
+// machine-readable campaign record (cmd/acutemon-fleet -json) that the
+// ingest load generator can replay and CI can trend-track.
 type Report struct {
-	Name     string
-	Scenario string
-	Workers  int
-	Sessions int64
-	Errors   int64
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Workers  int    `json:"workers"`
+	Sessions int64  `json:"sessions"`
+	Errors   int64  `json:"errors"`
 	// Wall is the measured wall-clock of the whole campaign.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
+	// Interrupted reports that the campaign context was cancelled before
+	// every session was dispatched; the report covers the sessions that
+	// did finish.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// Groups are the per-label aggregates, sorted by label.
-	Groups []*GroupAggregate
+	Groups []*GroupAggregate `json:"groups"`
 	// FirstErrors records up to a handful of session error strings for
 	// diagnosis.
-	FirstErrors []string
+	FirstErrors []string `json:"first_errors,omitempty"`
 	// CalibratedModels lists the models the auto-calibration pre-pass
 	// trained and recorded, sorted.
-	CalibratedModels []string
+	CalibratedModels []string `json:"calibrated_models,omitempty"`
 }
 
 // Group finds a group by label.
@@ -353,6 +211,9 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, " (%.0f sessions/s)", float64(r.Sessions)/r.Wall.Seconds())
 	}
 	b.WriteByte('\n')
+	if r.Interrupted {
+		b.WriteString("campaign interrupted: partial report over finished sessions\n")
+	}
 	if len(r.CalibratedModels) > 0 {
 		fmt.Fprintf(&b, "auto-calibrated %d model(s): %s\n",
 			len(r.CalibratedModels), strings.Join(r.CalibratedModels, ", "))

@@ -23,6 +23,8 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -153,6 +155,16 @@ type Campaign struct {
 	// OnSession, when set, observes every finished session. Calls are
 	// serialized; ordering follows completion, not session ID.
 	OnSession func(SessionResult)
+	// OnSample, when set, observes every finished session together with
+	// its raw user-RTT sample before the sample is dropped — the hook the
+	// ingest load generator uses to put real per-probe observations on
+	// the wire. Serialized like OnSession; the callee must not retain the
+	// slice past the call.
+	OnSample func(SessionResult, stats.Sample)
+	// Context, when non-nil, cancels the campaign: dispatching stops at
+	// the next session boundary, in-flight sessions drain, and Run
+	// returns a partial report with Interrupted set.
+	Context context.Context
 }
 
 // Run executes the campaign and returns the merged report.
@@ -219,16 +231,37 @@ func Run(c Campaign) (*Report, error) {
 					}
 					errMu.Unlock()
 				}
-				if c.OnSession != nil {
+				if c.OnSession != nil || c.OnSample != nil {
 					onMu.Lock()
-					c.OnSession(res)
+					if c.OnSession != nil {
+						c.OnSession(res)
+					}
+					if c.OnSample != nil {
+						c.OnSample(res, sample)
+					}
 					onMu.Unlock()
 				}
 			}
 		}()
 	}
+	var done <-chan struct{}
+	if c.Context != nil {
+		done = c.Context.Done()
+	}
+dispatch:
 	for i := range sessions {
-		jobs <- i
+		select {
+		case <-done:
+			rep.Interrupted = true
+			break dispatch
+		default:
+		}
+		select {
+		case jobs <- i:
+		case <-done:
+			rep.Interrupted = true
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -268,6 +301,11 @@ func precalibrate(c *Campaign, sessions []Session, workers int) (models, errs []
 	}
 	sort.Strings(missing)
 	done := Map(workers, len(missing), func(i int) error {
+		// Honour campaign cancellation between models, so a signal can
+		// interrupt the pre-pass too, not just session dispatch.
+		if c.Context != nil && c.Context.Err() != nil {
+			return c.Context.Err()
+		}
 		prof, ok := android.ProfileByName(missing[i])
 		if !ok {
 			return fmt.Errorf("unknown phone model %q", missing[i])
@@ -280,7 +318,11 @@ func precalibrate(c *Campaign, sessions []Session, workers int) (models, errs []
 	})
 	for i, err := range done {
 		if err != nil {
-			errs = append(errs, fmt.Sprintf("calibrate %s: %v", missing[i], err))
+			// Cancellation is reported once via Report.Interrupted, not
+			// as a per-model error.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				errs = append(errs, fmt.Sprintf("calibrate %s: %v", missing[i], err))
+			}
 			continue
 		}
 		models = append(models, missing[i])

@@ -1,0 +1,156 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// benchBatch synthesizes one wire batch: size summaries of k RTTs each,
+// spread over a five-model census so store striping is exercised.
+func benchBatch(size, k int) []Summary {
+	models := []string{"Google Nexus 5", "Samsung Grand", "Google Nexus 4", "Sony Xperia J", "HTC One"}
+	out := make([]Summary, size)
+	for i := range out {
+		rtts := make([]int64, k)
+		for j := range rtts {
+			rtts[j] = int64(30*time.Millisecond) + int64(i*j)*int64(time.Microsecond)%int64(20*time.Millisecond)
+		}
+		out[i] = Summary{
+			Device: models[i%len(models)], TimeMS: 1,
+			Sent: k, RTTs: rtts, LayersOK: true,
+			UserOverheadNS: int64(2 * time.Millisecond),
+			SDIOOverheadNS: int64(11 * time.Millisecond),
+			PSMInflationNS: int64(40 * time.Millisecond),
+		}
+	}
+	return out
+}
+
+// BenchmarkIngestLoopback prices the acceptance target: session
+// summaries per second through the full loopback wire path (HTTP POST →
+// decode → queue → puncture → fold), batching enabled. The
+// summaries/sec metric counts summaries *folded into the store*, not
+// just accepted.
+func BenchmarkIngestLoopback(b *testing.B) {
+	const batchSize = 100
+	s, err := Start(Config{Window: -1, QueueDepth: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := EncodeBatch(&body, benchBatch(batchSize, 20)); err != nil {
+		b.Fatal(err)
+	}
+	raw := body.Bytes()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	post := func() error {
+		for {
+			resp, err := client.Post(s.URL()+"/v1/ingest", "application/x-ndjson", bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				return nil
+			}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				return fmt.Errorf("status %s", resp.Status)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	// Include the drain so the metric reflects summaries actually folded.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	folded := s.metrics.FoldedSummaries.Load()
+	if folded != int64(b.N)*batchSize {
+		b.Fatalf("folded %d of %d summaries", folded, int64(b.N)*batchSize)
+	}
+	b.ReportMetric(float64(folded)/elapsed.Seconds(), "summaries/sec")
+	b.ReportMetric(float64(s.metrics.FoldedSamples.Load())/elapsed.Seconds(), "rtts/sec")
+}
+
+// BenchmarkStoreFold prices the pure fold path (no HTTP, no decode) —
+// the ceiling the wire path converges to as batching amortizes
+// transport.
+func BenchmarkStoreFold(b *testing.B) {
+	st := NewStore(0, 0)
+	p := NewPuncturer(nil, 0)
+	batch := benchBatch(100, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &batch[i%len(batch)]
+		corr, src := p.Correction(s)
+		st.Fold(s, corr, src)
+	}
+}
+
+// BenchmarkDecodeBatch prices wire parsing, usually the hot half of the
+// handler.
+func BenchmarkDecodeBatch(b *testing.B) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, benchBatch(100, 20)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(bytes.NewReader(raw), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCampaign prices the full pipeline end to end: simulate
+// sessions, serialize, post, fold.
+func BenchmarkStreamCampaign(b *testing.B) {
+	sc, _ := fleet.ScenarioByName("device-mix")
+	sessions := sc.Build(fleet.Params{Sessions: 32, Seed: 5, Probes: 20})
+	for i := 0; i < b.N; i++ {
+		s, err := Start(Config{Window: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lg := &LoadGen{URL: s.URL(), TimeMS: 1}
+		rep, err := lg.StreamCampaign(context.Background(), fleet.Campaign{
+			Name: "bench", Scenario: "device-mix", Seed: 5, Sessions: sessions,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			b.Fatal(rep.FirstErrors)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+}

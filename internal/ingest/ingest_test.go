@@ -1,0 +1,493 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// waitFolded blocks until the server has folded n summaries (the fold
+// stage is async behind the batch queue).
+func waitFolded(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.metrics.FoldedSummaries.Load() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d folded summaries (have %d)", n, s.metrics.FoldedSummaries.Load())
+}
+
+// TestEndToEndDeterminism is the subsystem's acceptance check: a seeded
+// campaign streamed through a loopback ingestd yields queried per-group
+// aggregates equal to the offline fleet.Run report for the same seed —
+// session/probe counts and histograms exact, means within float
+// rounding.
+func TestEndToEndDeterminism(t *testing.T) {
+	sc, ok := fleet.ScenarioByName("device-mix")
+	if !ok {
+		t.Fatal("device-mix scenario missing")
+	}
+	params := fleet.Params{Sessions: 48, Seed: 42, Probes: 15}
+	campaign := fleet.Campaign{
+		Name:     "e2e",
+		Scenario: "device-mix",
+		Seed:     42,
+		Workers:  4,
+		Sessions: sc.Build(params),
+	}
+
+	// Ground truth: the same seeded campaign run offline.
+	offline, err := fleet.Run(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Errors != 0 {
+		t.Fatalf("offline campaign errors: %v", offline.FirstErrors)
+	}
+
+	s := startTestServer(t, Config{Window: -1, QueueDepth: 64})
+	lg := &LoadGen{URL: s.URL(), BatchSize: 7, TimeMS: 1}
+	streamed, err := lg.StreamCampaign(context.Background(), campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Errors != 0 {
+		t.Fatalf("streamed campaign errors: %v", streamed.FirstErrors)
+	}
+	if lg.Sent() != offline.Sessions {
+		t.Fatalf("posted %d summaries, want %d", lg.Sent(), offline.Sessions)
+	}
+	waitFolded(t, s, offline.Sessions)
+
+	// The acceptance criteria live in VerifyAgainstReport — the same
+	// checker cmd/acutemon-ingestd's "verified" line relies on.
+	mismatches, maxMeanRel := VerifyAgainstReport(s.Store(), offline)
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+	if maxMeanRel > 1e-9 {
+		t.Errorf("max mean drift %g exceeds float tolerance", maxMeanRel)
+	}
+	// Every fleet session attributes its layers, so the punctured track
+	// must sit at or below raw in every group.
+	cells, err := s.Store().Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(offline.Groups) {
+		t.Fatalf("%d ingested groups, offline has %d", len(cells), len(offline.Groups))
+	}
+	for _, c := range cells {
+		if c.Punctured.Mean > c.Raw.Mean {
+			t.Errorf("%s: punctured mean %v above raw %v", c.Key.Group, c.Punctured.Mean, c.Raw.Mean)
+		}
+	}
+}
+
+func TestPuncturerSources(t *testing.T) {
+	reg := core.NewShardedRegistry(0)
+	p := NewPuncturer(reg, 0)
+
+	attributed := Summary{
+		Device: "Google Nexus 5", Sent: 2, RTTs: []int64{int64(40 * time.Millisecond)},
+		LayersOK:       true,
+		UserOverheadNS: int64(2 * time.Millisecond),
+		SDIOOverheadNS: int64(3 * time.Millisecond),
+		PSMInflationNS: int64(5 * time.Millisecond),
+	}
+	corr, src := p.Correction(&attributed)
+	if src != SourceReported || corr != 10*time.Millisecond {
+		t.Fatalf("attributed: %v/%v", corr, src)
+	}
+
+	blind := Summary{Device: "Google Nexus 5", Sent: 1, RTTs: []int64{int64(40 * time.Millisecond)}}
+	corr, src = p.Correction(&blind)
+	if src != SourceLearned || corr != 10*time.Millisecond {
+		t.Fatalf("learned: %v/%v", corr, src)
+	}
+
+	unknown := Summary{Device: "Mystery Phone", Sent: 1}
+	corr, src = p.Correction(&unknown)
+	if src != SourceNone || corr != 0 {
+		t.Fatalf("unknown: %v/%v", corr, src)
+	}
+
+	if p.Calibrated("Google Nexus 5") {
+		t.Fatal("model should not be registry-calibrated yet")
+	}
+	if err := reg.Record(core.RegistryEntry{
+		Model: "Google Nexus 5", Tip: 200 * time.Millisecond, Tis: 300 * time.Millisecond,
+		Warmup: 20 * time.Millisecond, Interval: 20 * time.Millisecond, Samples: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Calibrated("Google Nexus 5") {
+		t.Fatal("registry entry not visible through puncturer")
+	}
+
+	ovh := p.Overheads()
+	if len(ovh) != 1 || ovh[0].Model != "Google Nexus 5" || ovh[0].User.N != 1 {
+		t.Fatalf("learned table: %+v", ovh)
+	}
+}
+
+func TestStoreWindowingAndRollups(t *testing.T) {
+	st := NewStore(time.Minute, 4)
+	mk := func(device, group string, tms int64, rtt time.Duration) *Summary {
+		return &Summary{Device: device, Group: group, TimeMS: tms, Sent: 1, RTTs: []int64{int64(rtt)}}
+	}
+	st.Fold(mk("A", "g1", 10_000, 30*time.Millisecond), 0, SourceNone)
+	st.Fold(mk("A", "g1", 59_999, 40*time.Millisecond), 0, SourceNone)
+	st.Fold(mk("A", "g1", 60_000, 50*time.Millisecond), 0, SourceNone) // next window
+	st.Fold(mk("B", "g1", 10_000, 60*time.Millisecond), 0, SourceNone)
+	st.Fold(mk("B", "g2", 10_000, 70*time.Millisecond), 0, SourceNone)
+
+	if got := len(st.Snapshot()); got != 4 {
+		t.Fatalf("cells: %d != 4", got)
+	}
+	byGroup, err := st.Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byGroup) != 2 || byGroup[0].Sessions != 4 || byGroup[1].Sessions != 1 {
+		t.Fatalf("group rollup: %+v", byGroup)
+	}
+	byDevice, err := st.Query(RollupDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDevice) != 2 || byDevice[0].Sessions != 3 || byDevice[1].Sessions != 2 {
+		t.Fatalf("device rollup: %d cells", len(byDevice))
+	}
+	byWindow, err := st.Query(RollupWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byWindow) != 2 || byWindow[0].Key.WindowMS != 0 || byWindow[1].Key.WindowMS != 60_000 {
+		t.Fatalf("window rollup: %+v", byWindow)
+	}
+	if _, err := ParseRollup("nope"); err == nil {
+		t.Fatal("expected rollup parse error")
+	}
+}
+
+// TestStoreCellCapAndPrune covers the two memory bounds: the
+// distinct-cell cap (cardinality abuse) and window retention pruning
+// (benign long-running growth).
+func TestStoreCellCapAndPrune(t *testing.T) {
+	st := NewStore(time.Minute, 2)
+	st.SetMaxCells(2)
+	mk := func(device string, tms int64) *Summary {
+		return &Summary{Device: device, TimeMS: tms, Sent: 1, RTTs: []int64{int64(30 * time.Millisecond)}}
+	}
+	if !st.Fold(mk("A", 1), 0, SourceNone) || !st.Fold(mk("B", 1), 0, SourceNone) {
+		t.Fatal("folds under the cap must succeed")
+	}
+	if st.Fold(mk("C", 1), 0, SourceNone) {
+		t.Fatal("third distinct key must be refused at cap 2")
+	}
+	if !st.Fold(mk("A", 2), 0, SourceNone) {
+		t.Fatal("existing cells must keep folding at the cap")
+	}
+	if st.Cells() != 2 || st.Dropped() != 1 {
+		t.Fatalf("cells=%d dropped=%d", st.Cells(), st.Dropped())
+	}
+
+	// A later window for an existing device is a new cell — also capped.
+	if st.Fold(mk("A", 61_000), 0, SourceNone) {
+		t.Fatal("new-window cell must be refused at the cap")
+	}
+
+	// Retention: both live cells sit in window 0 (closes at 60s).
+	if n := st.Prune(59_999); n != 0 {
+		t.Fatalf("pruned %d cells before the window closed", n)
+	}
+	if n := st.Prune(60_000); n != 2 {
+		t.Fatalf("pruned %d cells, want 2", n)
+	}
+	if st.Cells() != 0 {
+		t.Fatalf("cells=%d after prune", st.Cells())
+	}
+	// Capacity freed by pruning is reusable.
+	if !st.Fold(mk("C", 61_000), 0, SourceNone) {
+		t.Fatal("fold after prune must succeed")
+	}
+
+	// Unwindowed stores never prune: the single cell is deliberate.
+	flat := NewStore(0, 1)
+	flat.Fold(mk("A", 1), 0, SourceNone)
+	if n := flat.Prune(1 << 60); n != 0 {
+		t.Fatalf("unwindowed store pruned %d cells", n)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := core.NewShardedRegistry(0)
+	if err := reg.Record(core.RegistryEntry{
+		Model: "Google Nexus 5", Tip: 200 * time.Millisecond,
+		Warmup: 20 * time.Millisecond, Interval: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := startTestServer(t, Config{Window: -1, Registry: reg})
+
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1}
+	batch := []Summary{
+		{
+			Device: "Google Nexus 5", Sent: 2, Lost: 1,
+			RTTs: []int64{int64(40 * time.Millisecond)}, LayersOK: true,
+			UserOverheadNS: int64(2 * time.Millisecond), SDIOOverheadNS: int64(3 * time.Millisecond),
+			PSMInflationNS: int64(5 * time.Millisecond), PSMActive: true,
+		},
+		{Device: "HTC One", Sent: 1, RTTs: []int64{int64(55 * time.Millisecond)}},
+	}
+	if err := lg.Send(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	waitFolded(t, s, 2)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/stats?by=device")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats JSON: %v", err)
+	}
+	if len(stats.Cells) != 2 || stats.Cells[0].Key.Device != "Google Nexus 5" {
+		t.Fatalf("/stats cells: %+v", stats.Cells)
+	}
+	if got := stats.Cells[0].Punctured.MeanMS; math.Abs(got-30) > 0.01 {
+		t.Fatalf("punctured mean %.3f ms, want 30", got)
+	}
+	if got := stats.Cells[0].Raw.MeanMS; math.Abs(got-40) > 0.01 {
+		t.Fatalf("raw mean %.3f ms, want 40", got)
+	}
+
+	code, body = get("/stats?format=table")
+	if code != http.StatusOK || !strings.Contains(body, "punct mean") {
+		t.Fatalf("/stats table: %d %q", code, body)
+	}
+
+	code, body = get("/models")
+	if code != http.StatusOK {
+		t.Fatalf("/models: %d", code)
+	}
+	var models ModelsResponse
+	if err := json.Unmarshal([]byte(body), &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Registry) != 1 || len(models.Learned) != 1 {
+		t.Fatalf("/models: %d registry, %d learned", len(models.Registry), len(models.Learned))
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+
+	if code, _ := get("/stats?by=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus rollup: %d", code)
+	}
+}
+
+// TestBackpressure exercises the bounded-queue path white-box: with the
+// queue full, a post must shed with 503 + Retry-After, not block.
+func TestBackpressure(t *testing.T) {
+	s := &Server{cfg: Config{}, store: NewStore(0, 1), punc: NewPuncturer(nil, 1),
+		queue: make(chan []Summary, 1)}
+	s.cfg.fill()
+	s.queue <- []Summary{{Device: "X", Sent: 1}} // fill the queue; no fold workers running
+
+	var buf bytes.Buffer
+	EncodeBatch(&buf, []Summary{{Device: "Google Nexus 5", Sent: 1, RTTs: []int64{1000}}})
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", &buf)
+	rec := httptest.NewRecorder()
+	s.handleIngest(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue: %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+	if s.metrics.RejectedBatches.Load() != 1 {
+		t.Fatalf("rejected counter: %d", s.metrics.RejectedBatches.Load())
+	}
+
+	// Malformed batch → 400.
+	req = httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader("{not json"))
+	rec = httptest.NewRecorder()
+	s.handleIngest(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad batch: %d", rec.Code)
+	}
+
+	// Draining → 503 before reading the body.
+	s.draining.Store(true)
+	req = httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(""))
+	rec = httptest.NewRecorder()
+	s.handleIngest(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining: %d", rec.Code)
+	}
+}
+
+// TestGracefulDrain posts batches and immediately shuts down: every
+// accepted summary must be folded before Shutdown returns.
+func TestGracefulDrain(t *testing.T) {
+	s, err := Start(Config{Window: -1, FoldWorkers: 1, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1, BatchSize: 10}
+	total := 0
+	for i := 0; i < 20; i++ {
+		batch := make([]Summary, 10)
+		for j := range batch {
+			batch[j] = Summary{Device: "Google Nexus 5", Sent: 1, RTTs: []int64{int64(30 * time.Millisecond)}}
+		}
+		if err := lg.Send(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if folded := s.metrics.FoldedSummaries.Load(); folded != int64(total) {
+		t.Fatalf("folded %d of %d accepted summaries after drain", folded, total)
+	}
+	cells := s.Store().Snapshot()
+	if len(cells) != 1 || cells[0].Sessions != int64(total) {
+		t.Fatalf("store after drain: %+v", cells)
+	}
+	// Post-shutdown posts are refused.
+	if err := (&LoadGen{URL: s.URL(), Retries: -1}).Send(context.Background(),
+		[]Summary{{Device: "X", Sent: 1}}); err == nil {
+		t.Fatal("expected post-shutdown send to fail")
+	}
+}
+
+// TestReplayReport replays a recorded campaign report through the wire
+// and checks counts exactly and the distribution to bucket resolution.
+func TestReplayReport(t *testing.T) {
+	sc, _ := fleet.ScenarioByName("baseline")
+	campaign := fleet.Campaign{
+		Name: "replay", Scenario: "baseline", Seed: 7, Workers: 2,
+		Sessions: sc.Build(fleet.Params{Sessions: 12, Seed: 7, Probes: 10}),
+	}
+	rep, err := fleet.Run(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("campaign errors: %v", rep.FirstErrors)
+	}
+
+	s := startTestServer(t, Config{Window: -1})
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1, BatchSize: 5}
+	posted, err := lg.ReplayReport(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(posted) != rep.Sessions {
+		t.Fatalf("replayed %d sessions, want %d", posted, rep.Sessions)
+	}
+	waitFolded(t, s, rep.Sessions)
+
+	cells, err := s.Store().Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("groups: %d", len(cells))
+	}
+	c, g := cells[0], rep.Groups[0]
+	if c.Sessions != g.Sessions || c.ProbesSent != g.ProbesSent || c.ProbesLost != g.ProbesLost {
+		t.Fatalf("counts (%d,%d,%d) != (%d,%d,%d)",
+			c.Sessions, c.ProbesSent, c.ProbesLost, g.Sessions, g.ProbesSent, g.ProbesLost)
+	}
+	if c.Raw.N != g.Du.N {
+		t.Fatalf("raw samples %d != %d", c.Raw.N, g.Du.N)
+	}
+	bucket := float64(g.DuHist.BucketWidth())
+	if diff := math.Abs(c.Raw.Mean - g.Du.Mean); diff > bucket {
+		t.Fatalf("replayed mean off by %v ns (> one bucket %v)", diff, bucket)
+	}
+	for _, q := range []float64{0.5, 0.9} {
+		if diff := math.Abs(float64(c.RawHist.Quantile(q) - g.DuHist.Quantile(q))); diff > bucket {
+			t.Fatalf("q%.1f off by %vns", q, diff)
+		}
+	}
+}
+
+func TestDecodeBatchValidation(t *testing.T) {
+	cases := []string{
+		``,                                 // empty
+		`{"device":"","sent":1}`,           // missing model
+		`{"device":"X","sent":1,"lost":2}`, // lost > sent
+		`{"device":"X","sent":1,"rtts_ns":[1,2]}`,                                         // more RTTs than sent
+		`{"device":"X","sent":1,"rtts_ns":[-5]}`,                                          // negative RTT
+		`{"device":"` + strings.Repeat("x", 201) + `","sent":1}`,                          // oversized key field
+		`{"device":"X","sent":4611686018427387904}`,                                       // counter overflow
+		`{"device":"X","sent":1,"background_sent":-1}`,                                    // negative counter
+		`{"device":"X","sent":1,"emulated_rtt_ns":-1}`,                                    // negative path RTT
+		`{"device":"X","sent":1,"layers_ok":true,"user_overhead_ns":4611686018427387904}`, // poison overhead
+	}
+	for _, c := range cases {
+		if _, err := DecodeBatch(strings.NewReader(c), 0); err == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+	good := `{"device":"X","sent":2,"rtts_ns":[1000,2000]}
+{"device":"Y","sent":1,"rtts_ns":[3000]}`
+	batch, err := DecodeBatch(strings.NewReader(good), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[1].GroupLabel() != "Y" {
+		t.Fatalf("batch: %+v", batch)
+	}
+	if _, err := DecodeBatch(strings.NewReader(good), 1); err == nil {
+		t.Fatal("expected cap error")
+	}
+}

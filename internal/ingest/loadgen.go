@@ -1,0 +1,333 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+// LoadGen streams session summaries to an ingest server over the real
+// wire protocol — the "million phones" half of the demo. It drives
+// either a live fleet campaign (StreamCampaign: every simulated session
+// is posted as it finishes) or a recorded campaign report
+// (ReplayReport: the -json artifact of cmd/acutemon-fleet, resampled
+// through the wire).
+type LoadGen struct {
+	// URL is the ingest server base, e.g. "http://127.0.0.1:7777".
+	URL string
+	// BatchSize is summaries per POST (<1 → 100).
+	BatchSize int
+	// TimeMS stamps every summary with a fixed event time; 0 stamps
+	// per-batch wall time. Deterministic tests pin it so every summary
+	// lands in one window.
+	TimeMS int64
+	// Client is the HTTP client (nil → a client with sane timeouts).
+	Client *http.Client
+	// Retries bounds 503-backpressure retries per batch (<0 → none,
+	// 0 → 50). Each retry honours a short backoff, so a loaded server
+	// sheds without losing the campaign.
+	Retries int
+	// RetryDelay is the backoff between retries (<=0 → 20 ms).
+	RetryDelay time.Duration
+
+	sent int64
+}
+
+func (lg *LoadGen) fill() {
+	if lg.BatchSize < 1 {
+		lg.BatchSize = 100
+	}
+	if lg.Client == nil {
+		lg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if lg.Retries == 0 {
+		lg.Retries = 50
+	}
+	if lg.RetryDelay <= 0 {
+		lg.RetryDelay = 20 * time.Millisecond
+	}
+}
+
+// Sent reports the number of summaries successfully posted so far.
+func (lg *LoadGen) Sent() int64 { return lg.sent }
+
+// Send posts one batch as JSON lines, honouring backpressure retries.
+func (lg *LoadGen) Send(ctx context.Context, batch []Summary) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	lg.fill()
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, batch); err != nil {
+		return fmt.Errorf("ingest: encoding batch: %w", err)
+	}
+	body := buf.Bytes()
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.URL+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := lg.Client.Do(req)
+		if err != nil {
+			return fmt.Errorf("ingest: posting batch: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+			lg.sent += int64(len(batch))
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < lg.Retries:
+			select {
+			case <-time.After(lg.RetryDelay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("ingest: server rejected batch: %s", resp.Status)
+		}
+	}
+}
+
+// SummaryFromSession converts one finished fleet session plus its raw
+// user-RTT sample into the wire record a phone would post.
+func SummaryFromSession(r *fleet.SessionResult, sample stats.Sample, scenario string, timeMS int64) Summary {
+	s := Summary{
+		Device:         r.Session.Phone,
+		Group:          r.Session.Label,
+		Scenario:       scenario,
+		TimeMS:         timeMS,
+		RTTs:           make([]int64, len(sample)),
+		Sent:           r.Sent,
+		Lost:           r.Lost,
+		BackgroundSent: r.BackgroundSent,
+		EmulatedRTTNS:  int64(r.Session.EmulatedRTT),
+		Inflation:      r.Inflation,
+		LayersOK:       r.LayersOK,
+		PSMActive:      r.PSMActive,
+		Calibrated:     r.CalibratedConfig,
+	}
+	for i, v := range sample {
+		s.RTTs[i] = int64(v)
+	}
+	if r.LayersOK {
+		s.UserOverheadNS = int64(r.UserOverhead)
+		s.SDIOOverheadNS = int64(r.SDIOOverhead)
+		s.PSMInflationNS = int64(r.PSMInflation)
+	}
+	return s
+}
+
+// StreamCampaign runs the fleet campaign with every finished session
+// wired through the ingest protocol, batching as it goes, and returns
+// the campaign's own offline report — the ground truth a determinism
+// check compares the server's queried aggregates against. Sessions that
+// errored are not posted (a crashed phone reports nothing).
+func (lg *LoadGen) StreamCampaign(ctx context.Context, c fleet.Campaign) (*fleet.Report, error) {
+	lg.fill()
+	scenario := c.Scenario
+	if scenario == "" {
+		scenario = "custom"
+	}
+	// A dead target should fail the campaign fast, not after every
+	// remaining session has been simulated for nothing: the first Send
+	// error cancels the campaign context and fleet.Run drains into a
+	// partial report.
+	base := ctx
+	if c.Context != nil {
+		base = c.Context
+	}
+	runCtx, cancelRun := context.WithCancel(base)
+	defer cancelRun()
+	c.Context = runCtx
+
+	// Wire I/O runs in a dedicated sender goroutine: fleet.Run holds its
+	// observer lock across OnSample, so a synchronous POST there would
+	// stall every simulation worker for the duration of each flush (and
+	// its backpressure retries). A short pipeline lets simulation and
+	// transport overlap; a slow server still backpressures the workers
+	// once the pipeline fills.
+	batches := make(chan []Summary, 4)
+	senderDone := make(chan struct{})
+	var sendErr error // written only by the sender; read after senderDone
+	go func() {
+		defer close(senderDone)
+		for b := range batches {
+			if sendErr != nil {
+				continue // drain remaining batches after failure
+			}
+			if err := lg.Send(ctx, b); err != nil {
+				sendErr = err
+				cancelRun()
+			}
+		}
+	}()
+
+	buf := make([]Summary, 0, lg.BatchSize)
+	prev := c.OnSample
+	c.OnSample = func(r fleet.SessionResult, sample stats.Sample) {
+		if prev != nil {
+			prev(r, sample)
+		}
+		if r.Err != nil {
+			return
+		}
+		ts := lg.TimeMS
+		if ts == 0 {
+			ts = time.Now().UnixMilli()
+		}
+		buf = append(buf, SummaryFromSession(&r, sample, scenario, ts))
+		if len(buf) >= lg.BatchSize {
+			batches <- buf
+			buf = make([]Summary, 0, lg.BatchSize)
+		}
+	}
+	rep, err := fleet.Run(c)
+	if len(buf) > 0 {
+		batches <- buf
+	}
+	close(batches)
+	<-senderDone
+	if err != nil {
+		return rep, err
+	}
+	return rep, sendErr
+}
+
+// ReplayReport resamples a recorded campaign report through the wire:
+// for every group it reconstructs the du distribution from the report
+// histogram (bucket midpoints at bucket counts) and spreads it over the
+// group's session count, preserving session/probe totals exactly and
+// the delay distribution to bucket resolution. Group-mean overheads
+// ride along on every synthesized summary, so the server's puncturing
+// path exercises the same corrections the live campaign would. Returns
+// the number of summaries posted.
+func (lg *LoadGen) ReplayReport(ctx context.Context, rep *fleet.Report) (int, error) {
+	lg.fill()
+	posted := 0
+	for _, g := range rep.Groups {
+		n := int(g.Sessions - g.Errors)
+		if n <= 0 || g.DuHist == nil {
+			continue
+		}
+		// Samples are generated lazily from the histogram cursor, so a
+		// million-session recorded report costs O(BatchSize) memory here
+		// rather than materializing every reconstructed RTT at once.
+		cur := histCursor{h: g.DuHist}
+		total := int(g.DuHist.N())
+		sent, lost, bg := int(g.ProbesSent), int(g.ProbesLost), int(g.BackgroundSent)
+		batch := make([]Summary, 0, lg.BatchSize)
+		for i := 0; i < n; i++ {
+			s := Summary{
+				Device:   g.Label,
+				Group:    g.Label,
+				Scenario: rep.Scenario,
+				TimeMS:   lg.TimeMS,
+				RTTs:     cur.take(share(total, n, i)),
+				Sent:     share(sent, n, i),
+				Lost:     share(lost, n, i),
+
+				BackgroundSent: share(bg, n, i),
+				PSMActive:      int64(i) < g.PSMActiveSessions,
+				Calibrated:     int64(i) < g.CalibratedSessions,
+			}
+			if s.Lost > s.Sent {
+				s.Lost = s.Sent
+			}
+			if len(s.RTTs) > s.Sent {
+				s.Sent = len(s.RTTs)
+			}
+			if g.Inflation.N > 0 {
+				s.Inflation = g.Inflation.Mean
+			}
+			if int64(i) < g.UserOverhead.N {
+				s.LayersOK = true
+				s.UserOverheadNS = int64(g.UserOverhead.Mean)
+				s.SDIOOverheadNS = int64(g.SDIOOverhead.Mean)
+				s.PSMInflationNS = int64(g.PSMInflation.Mean)
+			}
+			batch = append(batch, s)
+			if len(batch) >= lg.BatchSize {
+				if err := lg.Send(ctx, batch); err != nil {
+					return posted, err
+				}
+				posted += len(batch)
+				batch = batch[:0]
+			}
+		}
+		if err := lg.Send(ctx, batch); err != nil {
+			return posted, err
+		}
+		posted += len(batch)
+	}
+	return posted, nil
+}
+
+// histCursor streams a histogram's reconstructed sample in order:
+// under-range mass at Lo, each in-range count at its bucket midpoint,
+// over-range mass at Hi. Successive take calls walk the same virtual
+// sample a materialized slice would hold, without holding it.
+type histCursor struct {
+	h *agg.Hist
+	// phase 0 = under, 1 = buckets, 2 = over; emitted counts drawn so
+	// far from the current phase/bucket.
+	phase   int
+	bucket  int
+	emitted int64
+}
+
+// take returns the next n reconstructed samples (fewer only if the
+// histogram is exhausted).
+func (c *histCursor) take(n int) []int64 {
+	out := make([]int64, 0, n)
+	w := c.h.BucketWidth()
+	for len(out) < n {
+		switch c.phase {
+		case 0:
+			if c.emitted < c.h.Under {
+				out = append(out, int64(c.h.Lo))
+				c.emitted++
+				continue
+			}
+			c.phase, c.emitted = 1, 0
+		case 1:
+			if c.bucket >= len(c.h.Counts) {
+				c.phase, c.emitted = 2, 0
+				continue
+			}
+			if c.emitted < c.h.Counts[c.bucket] {
+				out = append(out, int64(c.h.Lo+time.Duration(c.bucket)*w+w/2))
+				c.emitted++
+				continue
+			}
+			c.bucket++
+			c.emitted = 0
+		default:
+			if c.emitted < c.h.Over {
+				out = append(out, int64(c.h.Hi))
+				c.emitted++
+				continue
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// share splits total across n near-evenly; slot i gets the remainder's
+// i-th unit.
+func share(total, n, i int) int {
+	base := total / n
+	if i < total%n {
+		base++
+	}
+	return base
+}

@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+// CorrectionSource says where a summary's puncturing correction came
+// from.
+type CorrectionSource uint8
+
+const (
+	// SourceNone: nothing known about the model yet; raw == corrected.
+	SourceNone CorrectionSource = iota
+	// SourceReported: the device shipped its own layer attribution
+	// (Δdu−k, Δdk−n, PSM share) and the correction is its session means.
+	SourceReported
+	// SourceLearned: the device shipped no attribution, so the
+	// correction is the model-level running mean learned from peers of
+	// the same model that did.
+	SourceLearned
+)
+
+func (s CorrectionSource) String() string {
+	switch s {
+	case SourceReported:
+		return "reported"
+	case SourceLearned:
+		return "learned"
+	default:
+		return "none"
+	}
+}
+
+// ModelOverhead is the learned per-model inflation profile: mergeable
+// moments over the per-session mean user-space, host-bus, and PSM
+// shares reported by attributing sessions of that model.
+type ModelOverhead struct {
+	Model string      `json:"model"`
+	User  agg.Moments `json:"user_overhead"`
+	SDIO  agg.Moments `json:"sdio_overhead"`
+	PSM   agg.Moments `json:"psm_inflation"`
+}
+
+// Correction returns the model's mean total per-probe correction.
+func (m *ModelOverhead) Correction() time.Duration {
+	c := time.Duration(m.User.Mean + m.SDIO.Mean + m.PSM.Mean)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Puncturer turns raw reported RTTs into punctured ones. It consults
+// the calibration database (which models have server-side Tis/Tip
+// entries — the paper's §4.1 configuration store) and maintains a
+// lock-striped learned overhead table per model, so sessions that can
+// attribute their own inflation teach the correction applied to
+// sessions that cannot.
+type Puncturer struct {
+	registry *core.ShardedRegistry
+	models   atomic.Int64
+	shards   []punctureShard
+}
+
+type punctureShard struct {
+	mu     sync.Mutex
+	models map[string]*ModelOverhead
+}
+
+// DefaultPunctureShards matches the registry's striping default.
+const DefaultPunctureShards = 16
+
+// MaxLearnedModels bounds the learned table: a real device census is a
+// few thousand models, so anything past this is key-cardinality abuse.
+// At the cap, unseen models stop teaching the table (their own reported
+// correction still applies) rather than growing it until OOM.
+const MaxLearnedModels = 4096
+
+// NewPuncturer builds a puncturer backed by an optional calibration
+// registry (shards < 1 selects the default stripe count).
+func NewPuncturer(reg *core.ShardedRegistry, shards int) *Puncturer {
+	if shards < 1 {
+		shards = DefaultPunctureShards
+	}
+	p := &Puncturer{registry: reg, shards: make([]punctureShard, shards)}
+	for i := range p.shards {
+		p.shards[i].models = make(map[string]*ModelOverhead)
+	}
+	return p
+}
+
+func (p *Puncturer) shardFor(model string) *punctureShard {
+	h := fnv1a64(fnvOffset64, model)
+	return &p.shards[h%uint64(len(p.shards))]
+}
+
+// Correction computes the summary's per-probe puncturing correction
+// and, when the summary carries its own attribution, folds that
+// attribution into the model's learned profile under the stripe lock.
+func (p *Puncturer) Correction(s *Summary) (time.Duration, CorrectionSource) {
+	if s.LayersOK {
+		corr := time.Duration(s.UserOverheadNS + s.SDIOOverheadNS + s.PSMInflationNS)
+		sh := p.shardFor(s.Device)
+		sh.mu.Lock()
+		m, ok := sh.models[s.Device]
+		if !ok && p.models.Load() < MaxLearnedModels {
+			m = &ModelOverhead{Model: s.Device}
+			sh.models[s.Device] = m
+			p.models.Add(1)
+		}
+		if m != nil {
+			m.User.Add(float64(s.UserOverheadNS))
+			m.SDIO.Add(float64(s.SDIOOverheadNS))
+			m.PSM.Add(float64(s.PSMInflationNS))
+		}
+		sh.mu.Unlock()
+		if corr < 0 {
+			corr = 0
+		}
+		return corr, SourceReported
+	}
+	sh := p.shardFor(s.Device)
+	sh.mu.Lock()
+	m, ok := sh.models[s.Device]
+	var corr time.Duration
+	if ok {
+		corr = m.Correction()
+	}
+	sh.mu.Unlock()
+	if ok {
+		return corr, SourceLearned
+	}
+	return 0, SourceNone
+}
+
+// Calibrated reports whether the calibration database knows the model.
+func (p *Puncturer) Calibrated(model string) bool {
+	if p.registry == nil {
+		return false
+	}
+	_, ok := p.registry.Lookup(model)
+	return ok
+}
+
+// Registry exposes the backing calibration database (may be nil).
+func (p *Puncturer) Registry() *core.ShardedRegistry { return p.registry }
+
+// Overheads snapshots the learned table, sorted by model.
+func (p *Puncturer) Overheads() []ModelOverhead {
+	var out []ModelOverhead
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.models {
+			out = append(out, *m)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}

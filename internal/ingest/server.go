@@ -1,0 +1,632 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Config parameterises an ingest server.
+type Config struct {
+	// Addr is the listen address ("" → 127.0.0.1:0, i.e. loopback on an
+	// ephemeral port — the test/benchmark default).
+	Addr string
+	// Window is the aggregation window width (0 → 1 minute; negative
+	// disables time bucketing entirely).
+	Window time.Duration
+	// StoreShards / PunctureShards stripe the aggregate store and the
+	// learned-overhead table (<1 → package defaults).
+	StoreShards    int
+	PunctureShards int
+	// QueueDepth bounds the decoded-batch queue between the HTTP
+	// handlers and the fold workers (<1 → 256). A full queue is
+	// backpressure: posts get 503 + Retry-After instead of piling up.
+	QueueDepth int
+	// FoldWorkers drain the queue into the store (<1 → GOMAXPROCS).
+	FoldWorkers int
+	// MaxConns bounds concurrently accepted TCP connections (<1 → 512).
+	MaxConns int
+	// MaxBatchBytes caps one POST body (<1 → 8 MiB).
+	MaxBatchBytes int64
+	// MaxBatchSummaries caps records per batch (<1 → 10000).
+	MaxBatchSummaries int
+	// MaxCells bounds distinct aggregation cells (0 → store default;
+	// negative removes the cap). Summaries that would mint a cell past
+	// the cap are dropped and counted, so key-cardinality abuse cannot
+	// OOM the daemon.
+	MaxCells int64
+	// Retention is how long closed windows are kept before the janitor
+	// prunes them (0 → 24h; negative → keep forever). Irrelevant when
+	// time bucketing is off.
+	Retention time.Duration
+	// Registry, when non-nil, is the calibration database consulted per
+	// device model and served under /models.
+	Registry *core.ShardedRegistry
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Window == 0 {
+		c.Window = time.Minute
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.FoldWorkers < 1 {
+		c.FoldWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConns < 1 {
+		c.MaxConns = 512
+	}
+	if c.MaxBatchBytes < 1 {
+		c.MaxBatchBytes = 8 << 20
+	}
+	if c.MaxBatchSummaries < 1 {
+		c.MaxBatchSummaries = 10000
+	}
+	if c.Retention == 0 {
+		c.Retention = 24 * time.Hour
+	}
+}
+
+// Event-time clamp horizon: a phone's clock may drift or a batch may
+// upload late, but beyond this the stamp is treated as hostile/broken
+// and replaced with arrival time.
+const (
+	maxEventSkewMS = int64(5 * time.Minute / time.Millisecond)
+	maxEventAgeMS  = int64(7 * 24 * time.Hour / time.Millisecond)
+)
+
+// Metrics are the server's monotonic operational counters, all safe to
+// read concurrently. (Cell-cap drops live on the Store, the single
+// source of truth surfaced via MetricsSnapshot.)
+type Metrics struct {
+	AcceptedBatches   atomic.Int64
+	AcceptedSummaries atomic.Int64
+	FoldedSummaries   atomic.Int64
+	FoldedSamples     atomic.Int64
+	RejectedBatches   atomic.Int64 // backpressure 503s
+	BadBatches        atomic.Int64 // malformed 400s
+	OversizedBatches  atomic.Int64 // 413s (client should split and retry)
+	PrunedCells       atomic.Int64 // windows removed by retention
+}
+
+// Server is a running ingest + query service.
+type Server struct {
+	cfg     Config
+	store   *Store
+	punc    *Puncturer
+	metrics Metrics
+	queue   chan []Summary
+	ln      net.Listener
+	http    *http.Server
+	foldWG  sync.WaitGroup
+	// inflight counts ingest handlers past the draining check. A plain
+	// atomic (polled in Shutdown) rather than a WaitGroup: an abandoned
+	// WaitGroup.Wait from a timed-out drain could race a later Add from
+	// a straggling request into a "WaitGroup misuse" panic; an atomic
+	// counter has no such failure mode.
+	inflight    atomic.Int64
+	closeOnce   sync.Once
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+	started     time.Time
+	draining    atomic.Bool
+	servErr     chan error
+	// ageClampMS is the accepted event-time age horizon: never older
+	// than the retention window, else a 202-accepted late batch would
+	// fold into an already-expired window and be pruned before anyone
+	// could query it.
+	ageClampMS int64
+}
+
+// Start listens, spawns the fold workers, and begins serving. The
+// returned server is live; stop it with Shutdown.
+func Start(cfg Config) (*Server, error) {
+	cfg.fill()
+	window := cfg.Window
+	if window < 0 {
+		window = 0
+	}
+	s := &Server{
+		cfg:         cfg,
+		store:       NewStore(window, cfg.StoreShards),
+		punc:        NewPuncturer(cfg.Registry, cfg.PunctureShards),
+		queue:       make(chan []Summary, cfg.QueueDepth),
+		janitorStop: make(chan struct{}),
+		started:     time.Now(),
+		servErr:     make(chan error, 1),
+	}
+	if cfg.MaxCells != 0 {
+		s.store.SetMaxCells(cfg.MaxCells)
+	}
+	s.ageClampMS = maxEventAgeMS
+	if retMS := int64(cfg.Retention / time.Millisecond); window > 0 && retMS > 0 && retMS < s.ageClampMS {
+		s.ageClampMS = retMS
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = &boundedListener{Listener: ln, sem: make(chan struct{}, cfg.MaxConns)}
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+
+	s.foldWG.Add(cfg.FoldWorkers)
+	for i := 0; i < cfg.FoldWorkers; i++ {
+		go s.foldLoop()
+	}
+	if window > 0 && cfg.Retention > 0 {
+		go s.janitor(window, cfg.Retention)
+	}
+	go func() {
+		if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+			s.servErr <- err
+		}
+	}()
+	return s, nil
+}
+
+// janitor prunes windows older than the retention horizon, bounding a
+// long-running daemon's memory under benign steady traffic (the cell
+// cap handles the hostile case).
+func (s *Server) janitor(window, retention time.Duration) {
+	interval := window
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			cutoff := time.Now().Add(-retention).UnixMilli()
+			if n := s.store.Prune(cutoff); n > 0 {
+				s.metrics.PrunedCells.Add(int64(n))
+			}
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the base URL clients post to.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Store exposes the aggregate store (reads are snapshot-consistent per
+// stripe).
+func (s *Server) Store() *Store { return s.store }
+
+// Puncturer exposes the live puncturing state.
+func (s *Server) Puncturer() *Puncturer { return s.punc }
+
+// MetricsSnapshot returns a plain-value copy of the counters.
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"accepted_batches":   s.metrics.AcceptedBatches.Load(),
+		"accepted_summaries": s.metrics.AcceptedSummaries.Load(),
+		"folded_summaries":   s.metrics.FoldedSummaries.Load(),
+		"folded_samples":     s.metrics.FoldedSamples.Load(),
+		"rejected_batches":   s.metrics.RejectedBatches.Load(),
+		"bad_batches":        s.metrics.BadBatches.Load(),
+		"oversized_batches":  s.metrics.OversizedBatches.Load(),
+		"dropped_summaries":  s.store.Dropped(),
+		"pruned_cells":       s.metrics.PrunedCells.Load(),
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight handlers
+// finish, then drain the batch queue through the fold workers so every
+// accepted summary lands in the store before the process exits. The
+// context bounds the whole drain; if it expires while a slow client is
+// still mid-POST, the queue is left open (the stalled handler may yet
+// enqueue) and only the drain guarantee is lost, never process safety.
+// Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.janitorOnce.Do(func() { close(s.janitorStop) })
+	err := s.http.Shutdown(ctx)
+
+	// Wait for every handler that got past the draining check before
+	// closing the queue: http.Shutdown returns early with the handler
+	// still running when its context expires, and closing under a
+	// pending `queue <-` would panic the process mid-drain.
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() != 0 {
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return err
+		}
+	}
+	s.closeOnce.Do(func() { close(s.queue) })
+
+	foldsDone := make(chan struct{})
+	go func() {
+		s.foldWG.Wait()
+		close(foldsDone)
+	}()
+	select {
+	case <-foldsDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	select {
+	case serr := <-s.servErr:
+		if err == nil {
+			err = serr
+		}
+	default:
+	}
+	return err
+}
+
+func (s *Server) foldLoop() {
+	defer s.foldWG.Done()
+	for batch := range s.queue {
+		for i := range batch {
+			sum := &batch[i]
+			corr, src := s.punc.Correction(sum)
+			if !s.store.Fold(sum, corr, src) {
+				continue // counted by the store itself
+			}
+			s.metrics.FoldedSummaries.Add(1)
+			s.metrics.FoldedSamples.Add(int64(len(sum.RTTs)))
+		}
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// The increment must precede the draining check: Shutdown sets
+	// draining before polling the counter, so any handler it misses is
+	// one that will observe draining and never touch the queue.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	batch, err := DecodeBatch(body, s.cfg.MaxBatchSummaries)
+	if err != nil {
+		// An oversized batch is valid data that needs splitting, not
+		// wire corruption — 413 tells the client to re-post in chunks
+		// instead of discarding its summaries.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.OversizedBatches.Add(1)
+			http.Error(w, fmt.Sprintf("batch exceeds %d bytes; split and re-post", s.cfg.MaxBatchBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.metrics.BadBatches.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Stamp arrival time here, not at fold time: under backpressure a
+	// batch can sit queued across a window boundary, and the wire
+	// contract promises arrival-time windows for unstamped summaries.
+	// When windowing is on, event times are also clamped to a sane
+	// horizon around arrival — far-future stamps would mint windows the
+	// retention janitor can never prune, permanently pinning the cell
+	// cap against legitimate traffic.
+	now := time.Now().UnixMilli()
+	for i := range batch {
+		ts := batch[i].TimeMS
+		if ts == 0 ||
+			(s.store.windowMS > 0 && (ts > now+maxEventSkewMS || ts < now-s.ageClampMS)) {
+			batch[i].TimeMS = now
+		}
+	}
+	select {
+	case s.queue <- batch:
+		s.metrics.AcceptedBatches.Add(1)
+		s.metrics.AcceptedSummaries.Add(int64(len(batch)))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(batch))
+	default:
+		// Backpressure: the fold stage is behind; shed load at the edge
+		// rather than buffering unboundedly.
+		s.metrics.RejectedBatches.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest queue full", http.StatusServiceUnavailable)
+	}
+}
+
+// TrackStats is the derived view of one observation track (raw or
+// punctured), in the paper's milliseconds.
+type TrackStats struct {
+	Samples  int64   `json:"samples"`
+	MeanMS   float64 `json:"mean_ms"`
+	StddevMS float64 `json:"stddev_ms"`
+	MinMS    float64 `json:"min_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+func trackStats(m agg.Moments, h *agg.Hist) TrackStats {
+	ms := func(f float64) float64 { return f / float64(time.Millisecond) }
+	t := TrackStats{Samples: m.N, MeanMS: ms(m.Mean), StddevMS: ms(m.Stddev())}
+	if m.N > 0 {
+		t.MinMS, t.MaxMS = ms(m.MinV), ms(m.MaxV)
+	}
+	if h != nil {
+		t.P50MS = ms(float64(h.Quantile(0.50)))
+		t.P90MS = ms(float64(h.Quantile(0.90)))
+		t.P99MS = ms(float64(h.Quantile(0.99)))
+	}
+	return t
+}
+
+// CellStats is the queryable derived view of one aggregate cell.
+type CellStats struct {
+	Key                Key        `json:"key"`
+	Sessions           int64      `json:"sessions"`
+	ProbesSent         int64      `json:"probes_sent"`
+	ProbesLost         int64      `json:"probes_lost"`
+	LossRate           float64    `json:"loss_rate"`
+	BackgroundSent     int64      `json:"background_sent"`
+	Raw                TrackStats `json:"raw"`
+	Punctured          TrackStats `json:"punctured"`
+	CorrectionMeanMS   float64    `json:"correction_mean_ms"`
+	InflationMean      float64    `json:"inflation_mean"`
+	UserOverheadMS     float64    `json:"user_overhead_mean_ms"`
+	SDIOOverheadMS     float64    `json:"sdio_overhead_mean_ms"`
+	PSMInflationMS     float64    `json:"psm_inflation_mean_ms"`
+	PSMActiveSessions  int64      `json:"psm_active_sessions"`
+	CalibratedSessions int64      `json:"calibrated_sessions"`
+	ReportedSessions   int64      `json:"reported_sessions"`
+	LearnedSessions    int64      `json:"learned_sessions"`
+	Uncorrected        int64      `json:"uncorrected_sessions"`
+}
+
+// StatsFor derives the view of one cell.
+func StatsFor(c *Cell) CellStats {
+	ms := func(f float64) float64 { return f / float64(time.Millisecond) }
+	return CellStats{
+		Key:                c.Key,
+		Sessions:           c.Sessions,
+		ProbesSent:         c.ProbesSent,
+		ProbesLost:         c.ProbesLost,
+		LossRate:           c.LossRate(),
+		BackgroundSent:     c.BackgroundSent,
+		Raw:                trackStats(c.Raw, c.RawHist),
+		Punctured:          trackStats(c.Punctured, c.PuncturedHist),
+		CorrectionMeanMS:   ms(c.Correction.Mean),
+		InflationMean:      c.Inflation.Mean,
+		UserOverheadMS:     ms(c.UserOverhead.Mean),
+		SDIOOverheadMS:     ms(c.SDIOOverhead.Mean),
+		PSMInflationMS:     ms(c.PSMInflation.Mean),
+		PSMActiveSessions:  c.PSMActiveSessions,
+		CalibratedSessions: c.CalibratedSessions,
+		ReportedSessions:   c.ReportedSessions,
+		LearnedSessions:    c.LearnedSessions,
+		Uncorrected:        c.UncorrectedSessions,
+	}
+}
+
+// StatsResponse is the /stats JSON payload.
+type StatsResponse struct {
+	Rollup   Rollup      `json:"rollup"`
+	WindowMS int64       `json:"window_ms"`
+	Cells    []CellStats `json:"cells"`
+}
+
+// StatsQuery derives the /stats view. The by=cell path computes each
+// cell's derived stats under the stripe lock rather than deep-cloning
+// every histogram (~17 KiB per cell) only to read three quantiles —
+// with the store near its cell cap that clone would be hundreds of MiB
+// of transient allocation per dashboard poll. Merging rollups go
+// through Query, which already merges without cloning.
+func (st *Store) StatsQuery(r Rollup) ([]CellStats, error) {
+	if r == RollupCell {
+		var out []CellStats
+		for i := range st.shards {
+			sh := &st.shards[i]
+			sh.mu.Lock()
+			for _, c := range sh.cells {
+				out = append(out, StatsFor(c))
+			}
+			sh.mu.Unlock()
+		}
+		sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+		return out, nil
+	}
+	cells, err := st.Query(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CellStats, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, StatsFor(c))
+	}
+	return out, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	rollup, err := ParseRollup(r.URL.Query().Get("by"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cellStats, err := s.store.StatsQuery(rollup)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := StatsResponse{Rollup: rollup, WindowMS: s.store.windowMS, Cells: cellStats}
+	if strings.EqualFold(r.URL.Query().Get("format"), "table") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, RenderStats(resp))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// RenderStats renders a stats response as a paper-style table: raw and
+// punctured delay side by side, plus the applied correction and its
+// provenance.
+func RenderStats(resp StatsResponse) string {
+	t := report.NewTable(
+		fmt.Sprintf("Live ingest aggregates by %s (durations in ms; raw = as reported, punctured = de-inflated).", resp.Rollup),
+		"Cell", "Sessions", "Probes", "Loss",
+		"raw mean±sd", "raw p50", "raw p90", "raw p99",
+		"punct mean", "p50", "p90", "p99",
+		"corr", "src rep/lrn/none", "PSM act.")
+	f2 := func(f float64) string { return fmt.Sprintf("%.2f", f) }
+	for _, c := range resp.Cells {
+		label := cellLabel(c.Key, resp.Rollup)
+		t.AddRow(label,
+			fmt.Sprintf("%d", c.Sessions),
+			fmt.Sprintf("%d", c.ProbesSent),
+			fmt.Sprintf("%.1f%%", c.LossRate*100),
+			fmt.Sprintf("%s±%s", f2(c.Raw.MeanMS), f2(c.Raw.StddevMS)),
+			f2(c.Raw.P50MS), f2(c.Raw.P90MS), f2(c.Raw.P99MS),
+			f2(c.Punctured.MeanMS),
+			f2(c.Punctured.P50MS), f2(c.Punctured.P90MS), f2(c.Punctured.P99MS),
+			f2(c.CorrectionMeanMS),
+			fmt.Sprintf("%d/%d/%d", c.ReportedSessions, c.LearnedSessions, c.Uncorrected),
+			fmt.Sprintf("%d/%d", c.PSMActiveSessions, c.Sessions))
+	}
+	return t.String()
+}
+
+func cellLabel(k Key, r Rollup) string {
+	switch r {
+	case RollupGroup:
+		return k.Group
+	case RollupDevice:
+		return k.Device
+	case RollupWindow:
+		return time.UnixMilli(k.WindowMS).UTC().Format("15:04:05")
+	default:
+		parts := []string{k.Group}
+		if k.Device != k.Group {
+			parts = append(parts, k.Device)
+		}
+		if k.Scenario != "" {
+			parts = append(parts, k.Scenario)
+		}
+		if k.WindowMS != 0 {
+			parts = append(parts, time.UnixMilli(k.WindowMS).UTC().Format("15:04:05"))
+		}
+		return strings.Join(parts, "/")
+	}
+}
+
+// ModelsResponse is the /models JSON payload: the calibration database
+// plus the learned per-model overhead profiles driving live puncturing.
+type ModelsResponse struct {
+	Registry []core.RegistryEntry `json:"registry"`
+	Learned  []ModelOverhead      `json:"learned"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := ModelsResponse{Learned: s.punc.Overheads()}
+	if s.cfg.Registry != nil {
+		resp.Registry = s.cfg.Registry.Snapshot().Entries()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	payload := map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"queue_len": len(s.queue),
+		"queue_cap": cap(s.queue),
+		"window_ms": s.store.windowMS,
+		"cells":     s.store.Cells(),
+		"counters":  s.MetricsSnapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(payload)
+}
+
+// boundedListener caps concurrently open accepted connections: Accept
+// blocks while MaxConns connections are alive, pushing connect-level
+// backpressure into the kernel accept queue instead of the heap.
+type boundedListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *boundedListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &boundedConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+type boundedConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *boundedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

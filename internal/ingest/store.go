@@ -1,0 +1,416 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+)
+
+// Key identifies one aggregation cell: a device model in a scenario arm
+// within one time window.
+type Key struct {
+	Device   string `json:"device"`
+	Group    string `json:"group"`
+	Scenario string `json:"scenario,omitempty"`
+	// WindowMS is the window start (Unix ms); 0 when windowing is off.
+	WindowMS int64 `json:"window_ms"`
+}
+
+// Cell is the mergeable aggregate of every summary sharing a Key. Raw
+// and punctured tracks run side by side: Raw folds the RTTs exactly as
+// reported, Punctured folds the same observations after subtracting the
+// per-summary correction, so a query can show inflation before/after in
+// one row.
+type Cell struct {
+	Key      Key   `json:"key"`
+	Sessions int64 `json:"sessions"`
+
+	ProbesSent     int64 `json:"probes_sent"`
+	ProbesLost     int64 `json:"probes_lost"`
+	BackgroundSent int64 `json:"background_sent"`
+
+	Raw     agg.Moments `json:"raw"`
+	RawHist *agg.Hist   `json:"raw_hist"`
+
+	Punctured     agg.Moments `json:"punctured"`
+	PuncturedHist *agg.Hist   `json:"punctured_hist"`
+
+	// Correction folds the per-summary correction applied (ns, one
+	// observation per punctured session).
+	Correction agg.Moments `json:"correction"`
+
+	Inflation    agg.Moments `json:"inflation"`
+	UserOverhead agg.Moments `json:"user_overhead"`
+	SDIOOverhead agg.Moments `json:"sdio_overhead"`
+	PSMInflation agg.Moments `json:"psm_inflation"`
+
+	PSMActiveSessions  int64 `json:"psm_active_sessions"`
+	CalibratedSessions int64 `json:"calibrated_sessions"`
+
+	// Correction provenance counts.
+	ReportedSessions    int64 `json:"reported_sessions"`
+	LearnedSessions     int64 `json:"learned_sessions"`
+	UncorrectedSessions int64 `json:"uncorrected_sessions"`
+}
+
+func newCell(k Key) *Cell {
+	return &Cell{Key: k, RawHist: agg.NewDurationHist(), PuncturedHist: agg.NewDurationHist()}
+}
+
+// fold absorbs one summary with its puncturing correction.
+func (c *Cell) fold(s *Summary, corr time.Duration, src CorrectionSource) {
+	c.Sessions++
+	c.ProbesSent += int64(s.Sent)
+	c.ProbesLost += int64(s.Lost)
+	c.BackgroundSent += int64(s.BackgroundSent)
+	for _, v := range s.RTTs {
+		d := time.Duration(v)
+		c.Raw.Add(float64(d))
+		c.RawHist.Add(d)
+		p := d - corr
+		if p < 0 {
+			p = 0
+		}
+		c.Punctured.Add(float64(p))
+		c.PuncturedHist.Add(p)
+	}
+	if s.Inflation > 0 {
+		c.Inflation.Add(s.Inflation)
+	}
+	if s.LayersOK {
+		c.UserOverhead.Add(float64(s.UserOverheadNS))
+		c.SDIOOverhead.Add(float64(s.SDIOOverheadNS))
+		c.PSMInflation.Add(float64(s.PSMInflationNS))
+	}
+	if s.PSMActive {
+		c.PSMActiveSessions++
+	}
+	if s.Calibrated {
+		c.CalibratedSessions++
+	}
+	switch src {
+	case SourceReported:
+		c.ReportedSessions++
+		c.Correction.Add(float64(corr))
+	case SourceLearned:
+		c.LearnedSessions++
+		c.Correction.Add(float64(corr))
+	default:
+		c.UncorrectedSessions++
+	}
+}
+
+// Merge folds another cell's aggregates in (keys need not match; the
+// receiver keeps its own — this is what query-time rollups rely on).
+func (c *Cell) Merge(o *Cell) error {
+	if o == nil {
+		return nil
+	}
+	c.Sessions += o.Sessions
+	c.ProbesSent += o.ProbesSent
+	c.ProbesLost += o.ProbesLost
+	c.BackgroundSent += o.BackgroundSent
+	c.Raw.Merge(o.Raw)
+	if err := c.RawHist.Merge(o.RawHist); err != nil {
+		return err
+	}
+	c.Punctured.Merge(o.Punctured)
+	if err := c.PuncturedHist.Merge(o.PuncturedHist); err != nil {
+		return err
+	}
+	c.Correction.Merge(o.Correction)
+	c.Inflation.Merge(o.Inflation)
+	c.UserOverhead.Merge(o.UserOverhead)
+	c.SDIOOverhead.Merge(o.SDIOOverhead)
+	c.PSMInflation.Merge(o.PSMInflation)
+	c.PSMActiveSessions += o.PSMActiveSessions
+	c.CalibratedSessions += o.CalibratedSessions
+	c.ReportedSessions += o.ReportedSessions
+	c.LearnedSessions += o.LearnedSessions
+	c.UncorrectedSessions += o.UncorrectedSessions
+	return nil
+}
+
+// LossRate returns the fraction of probes lost.
+func (c *Cell) LossRate() float64 {
+	if c.ProbesSent == 0 {
+		return 0
+	}
+	return float64(c.ProbesLost) / float64(c.ProbesSent)
+}
+
+// clone deep-copies a cell so snapshots can leave the stripe lock.
+func (c *Cell) clone() *Cell {
+	d := *c
+	d.RawHist = c.RawHist.Clone()
+	d.PuncturedHist = c.PuncturedHist.Clone()
+	return &d
+}
+
+// Store is the lock-striped, time-windowed aggregate store. Cells are
+// partitioned across stripes by key hash; fold workers touching
+// different (device, group, window) combinations proceed without
+// contending, and every read is a merge of immutable snapshots.
+type Store struct {
+	windowMS int64
+	maxCells int64
+	cells    atomic.Int64
+	dropped  atomic.Int64 // summaries refused because the cell cap was hit
+	shards   []storeShard
+}
+
+type storeShard struct {
+	mu    sync.Mutex
+	cells map[Key]*Cell
+}
+
+// DefaultStoreShards is sized for tens of fold workers over a
+// device-census × scenario keyspace.
+const DefaultStoreShards = 32
+
+// DefaultMaxCells bounds distinct aggregation cells. Each cell carries
+// two 1000-bucket histograms (~17 KiB), so the default caps aggregate
+// state near half a GiB — without a cap, one hostile batch of unique
+// device names per POST would mint unreclaimable heap until OOM.
+const DefaultMaxCells = 32768
+
+// NewStore builds a store. window <= 0 disables time bucketing (one
+// window forever — what deterministic replay tests use); shards < 1
+// selects the default stripe count.
+func NewStore(window time.Duration, shards int) *Store {
+	if shards < 1 {
+		shards = DefaultStoreShards
+	}
+	st := &Store{
+		windowMS: int64(window / time.Millisecond),
+		maxCells: DefaultMaxCells,
+		shards:   make([]storeShard, shards),
+	}
+	for i := range st.shards {
+		st.shards[i].cells = make(map[Key]*Cell)
+	}
+	return st
+}
+
+// SetMaxCells overrides the distinct-cell cap (n < 1 removes it).
+func (st *Store) SetMaxCells(n int64) {
+	if n < 1 {
+		n = int64(^uint64(0) >> 1)
+	}
+	st.maxCells = n
+}
+
+// Cells returns the live distinct-cell count; Dropped returns the
+// summaries refused at the cap.
+func (st *Store) Cells() int64   { return st.cells.Load() }
+func (st *Store) Dropped() int64 { return st.dropped.Load() }
+
+// WindowFor buckets an event time (Unix ms) to its window start.
+func (st *Store) WindowFor(timeMS int64) int64 {
+	if st.windowMS <= 0 {
+		return 0
+	}
+	w := timeMS - timeMS%st.windowMS
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// Inlined FNV-1a: shardFor runs once per folded summary, and the
+// hash/fnv hasher would be a heap allocation per call on that path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnv1a64 extends h over s plus a terminating separator byte, so
+// adjacent key fields cannot alias.
+func fnv1a64(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // separator (xor with 0 is a no-op)
+	return h
+}
+
+func (st *Store) shardFor(k Key) *storeShard {
+	h := fnv1a64(fnvOffset64, k.Device)
+	h = fnv1a64(h, k.Group)
+	h = fnv1a64(h, k.Scenario)
+	w := uint64(k.WindowMS)
+	for i := 0; i < 8; i++ {
+		h ^= (w >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return &st.shards[h%uint64(len(st.shards))]
+}
+
+// Fold routes one summary into its cell under the stripe lock. It
+// reports false when the summary would mint a new cell past the cap —
+// existing cells keep folding, so a cardinality attack degrades only
+// attack traffic, not the census already being served.
+func (st *Store) Fold(s *Summary, corr time.Duration, src CorrectionSource) bool {
+	k := Key{
+		Device:   s.Device,
+		Group:    s.GroupLabel(),
+		Scenario: s.Scenario,
+		WindowMS: st.WindowFor(s.TimeMS),
+	}
+	sh := st.shardFor(k)
+	sh.mu.Lock()
+	c, ok := sh.cells[k]
+	if !ok {
+		if st.cells.Load() >= st.maxCells {
+			sh.mu.Unlock()
+			st.dropped.Add(1)
+			return false
+		}
+		c = newCell(k)
+		sh.cells[k] = c
+		st.cells.Add(1)
+	}
+	c.fold(s, corr, src)
+	sh.mu.Unlock()
+	return true
+}
+
+// Prune deletes every cell whose window closed at or before cutoffMS
+// (Unix ms), returning how many were removed. A no-op when time
+// bucketing is off — the single eternal window is the caller's choice.
+func (st *Store) Prune(cutoffMS int64) int {
+	if st.windowMS <= 0 {
+		return 0
+	}
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for k := range sh.cells {
+			if k.WindowMS+st.windowMS <= cutoffMS {
+				delete(sh.cells, k)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	st.cells.Add(int64(-n))
+	return n
+}
+
+// Snapshot deep-copies every cell, sorted by (group, device, scenario,
+// window). Consistent per stripe, not across stripes — the right trade
+// for serving queries while folds continue.
+func (st *Store) Snapshot() []*Cell {
+	var out []*Cell
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.cells {
+			out = append(out, c.clone())
+		}
+		sh.mu.Unlock()
+	}
+	sortCells(out)
+	return out
+}
+
+func keyLess(a, b Key) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	if a.Scenario != b.Scenario {
+		return a.Scenario < b.Scenario
+	}
+	return a.WindowMS < b.WindowMS
+}
+
+func sortCells(cells []*Cell) {
+	sort.Slice(cells, func(i, j int) bool { return keyLess(cells[i].Key, cells[j].Key) })
+}
+
+// Rollup says which key dimensions a query keeps; dropped dimensions
+// merge away.
+type Rollup string
+
+const (
+	// RollupCell keeps every dimension (no merging).
+	RollupCell Rollup = "cell"
+	// RollupGroup merges to one cell per aggregation label — the shape
+	// that compares directly against a fleet campaign report.
+	RollupGroup Rollup = "group"
+	// RollupDevice merges to one cell per device model.
+	RollupDevice Rollup = "device"
+	// RollupWindow merges to one cell per time window (a fleet-wide
+	// time series).
+	RollupWindow Rollup = "window"
+)
+
+// ParseRollup validates a query-string rollup name ("" → group).
+func ParseRollup(s string) (Rollup, error) {
+	switch Rollup(s) {
+	case "":
+		return RollupGroup, nil
+	case RollupCell, RollupGroup, RollupDevice, RollupWindow:
+		return Rollup(s), nil
+	default:
+		return "", fmt.Errorf("ingest: unknown rollup %q (want cell|group|device|window)", s)
+	}
+}
+
+func (r Rollup) reduce(k Key) Key {
+	switch r {
+	case RollupGroup:
+		return Key{Group: k.Group}
+	case RollupDevice:
+		return Key{Device: k.Device}
+	case RollupWindow:
+		return Key{WindowMS: k.WindowMS}
+	default:
+		return k
+	}
+}
+
+// Query merges cells down to the rollup's dimensions. RollupCell
+// deep-copies (the caller gets every cell); every other rollup merges
+// each live cell straight into its accumulator under the stripe lock —
+// Merge only reads its argument, so no per-cell clone of the two 1000-
+// bucket histograms is needed, keeping a /stats poll cheap even with
+// the store near its cell cap.
+func (st *Store) Query(r Rollup) ([]*Cell, error) {
+	if r == RollupCell || r == "" {
+		return st.Snapshot(), nil
+	}
+	merged := map[Key]*Cell{}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.cells {
+			k := r.reduce(c.Key)
+			dst, ok := merged[k]
+			if !ok {
+				dst = newCell(k)
+				merged[k] = dst
+			}
+			if err := dst.Merge(c); err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]*Cell, 0, len(merged))
+	for _, c := range merged {
+		out = append(out, c)
+	}
+	sortCells(out)
+	return out, nil
+}
