@@ -201,14 +201,31 @@ func CampaignScenarioByName(name string) (CampaignScenario, bool) {
 }
 
 // Mergeable streaming aggregates (shared by fleet campaign reports and
-// the ingest store): Welford moments and fixed-range histograms whose
-// chunked partial results merge into whole-sample totals.
+// the ingest store): Welford moments, fixed-range histograms, and
+// t-digest-style quantile sketches whose chunked partial results merge
+// into whole-sample totals (exactly for moments and histogram counts,
+// within a documented rank-error bound for sketch quantiles).
 type (
 	// Moments is a mergeable count/mean/variance/min/max accumulator.
 	Moments = agg.Moments
 	// Hist is a mergeable fixed-range duration histogram.
 	Hist = agg.Hist
+	// Sketch is a mergeable streaming quantile sketch with exact
+	// min/max and tail-tight error — the percentile source behind
+	// campaign reports and ingest /stats.
+	Sketch = agg.Sketch
+	// StreamingSummary accumulates Sample.Summarize-shaped statistics
+	// without retaining observations: moments stream exactly,
+	// percentiles through a Sketch.
+	StreamingSummary = stats.Streaming
 )
+
+// NewSketch returns an empty quantile sketch (compression <= 0 selects
+// the default; larger means more centroids and tighter quantiles).
+func NewSketch(compression float64) *Sketch { return agg.NewSketch(compression) }
+
+// NewStreamingSummary returns an empty streaming summary accumulator.
+func NewStreamingSummary() *StreamingSummary { return stats.NewStreaming(0) }
 
 // Crowd-scale ingestion surface. An IngestServer accepts batched
 // per-session summaries over HTTP, punctures every reported RTT online

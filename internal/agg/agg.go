@@ -1,10 +1,18 @@
 // Package agg provides the repo's mergeable streaming aggregates:
-// Welford moments and fixed-range histograms whose partial results,
-// built over disjoint chunks of a sample in any order, merge into the
-// same totals as one accumulator over the whole sample. This property
+// Welford moments, fixed-range histograms, and t-digest-style quantile
+// sketches whose partial results, built over disjoint chunks of a
+// sample in any order, merge into the same totals as one accumulator
+// over the whole sample (exactly for moments/histogram counts, within
+// the documented rank-error bound for sketch quantiles). This property
 // is what lets both the fleet scheduler (worker-local folds merged at
 // campaign end) and the ingest service (lock-striped windowed cells
 // merged at query time) aggregate without ever holding raw samples.
+//
+// The division of labor: Moments carry mean/variance, Hist renders
+// fixed-resolution CDFs and tables over the paper's 0–500 ms range,
+// and Sketch answers quantiles — unclamped and tail-accurate — for the
+// heavy-tailed cells (cellular promotion, PSM sweeps) whose upper
+// percentiles the histogram saturates at its range cap.
 //
 // Promoted out of internal/fleet so fleet and ingest share one
 // implementation; fleet keeps type aliases for compatibility.
@@ -44,6 +52,17 @@ func (m *Moments) Add(v float64) {
 	if v > m.MaxV {
 		m.MaxV = v
 	}
+}
+
+// AddN folds n copies of v in — the shape a sketch centroid takes when
+// folded into moment accumulators. The centroid's internal spread is
+// not recoverable, so for sketch-only input the variance is a lower
+// bound.
+func (m *Moments) AddN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.Merge(Moments{N: n, Mean: v, MinV: v, MaxV: v})
 }
 
 // Merge folds another accumulator in (Chan et al.'s parallel variance
@@ -127,19 +146,40 @@ func (h *Hist) BucketWidth() time.Duration {
 }
 
 // Add folds one duration in.
-func (h *Hist) Add(d time.Duration) {
+func (h *Hist) Add(d time.Duration) { h.AddN(d, 1) }
+
+// AddN folds n copies of d in.
+func (h *Hist) AddN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
 	switch {
 	case d < h.Lo:
-		h.Under++
+		h.Under += n
 	case d >= h.Hi:
-		h.Over++
+		h.Over += n
 	default:
 		idx := int(int64(d-h.Lo) * int64(len(h.Counts)) / int64(h.Hi-h.Lo))
 		if idx >= len(h.Counts) {
 			idx = len(h.Counts) - 1
 		}
-		h.Counts[idx]++
+		h.Counts[idx] += n
 	}
+}
+
+// CheckGeometry reports whether o can merge into h, without mutating
+// either. Callers that merge several aggregates as one transaction
+// (fleet groups, ingest cells) check every histogram first so a
+// geometry mismatch cannot leave the receiver half-merged.
+func (h *Hist) CheckGeometry(o *Hist) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("agg: merging histograms with different geometry: [%v,%v)×%d vs [%v,%v)×%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	return nil
 }
 
 // Merge adds another histogram's counts; geometries must match.
@@ -147,9 +187,8 @@ func (h *Hist) Merge(o *Hist) error {
 	if o == nil {
 		return nil
 	}
-	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
-		return fmt.Errorf("agg: merging histograms with different geometry: [%v,%v)×%d vs [%v,%v)×%d",
-			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	if err := h.CheckGeometry(o); err != nil {
+		return err
 	}
 	h.Under += o.Under
 	h.Over += o.Over
@@ -179,9 +218,14 @@ func (h *Hist) N() int64 {
 	return n
 }
 
-// Quantile estimates the q-th quantile (0..1) as the upper edge of the
-// bin where the cumulative count crosses q·N. Under-range mass resolves
-// to Lo and over-range mass to Hi.
+// Quantile estimates the q-th quantile (0..1) by interpolating within
+// the bin where the cumulative count crosses q·N, assuming the bin's
+// mass is spread uniformly across its width — snapping to the bin's
+// upper edge, as this used to do, adds a systematic upward bias of up
+// to one bin width (0.5 ms at the standard geometry). Under-range mass
+// resolves to Lo and over-range mass to Hi; a cell with Over > 0 has
+// its upper quantiles saturated at Hi, which callers should surface
+// (the sketch-backed quantile path exists for exactly that case).
 func (h *Hist) Quantile(q float64) time.Duration {
 	n := h.N()
 	if n == 0 {
@@ -197,10 +241,14 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	}
 	width := float64(h.Hi-h.Lo) / float64(len(h.Counts))
 	for i, c := range h.Counts {
-		cum += c
-		if cum >= target {
-			return h.Lo + time.Duration(float64(i+1)*width)
+		if c == 0 {
+			continue
 		}
+		if cum+c >= target {
+			frac := float64(target-cum) / float64(c)
+			return h.Lo + time.Duration((float64(i)+frac)*width)
+		}
+		cum += c
 	}
 	return h.Hi
 }

@@ -150,8 +150,10 @@ func TestQuantileWithinBucket(t *testing.T) {
 		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 		exact := sorted[idx]
 		est := h.Quantile(q)
-		if diff := est - exact; diff < 0 || diff > w {
-			t.Fatalf("q%.2f: estimate %v not within one bucket (%v) above exact %v", q, est, w, exact)
+		// Interpolation within the crossing bin can land on either side
+		// of the exact order statistic, but never outside its bin.
+		if diff := est - exact; diff < -w || diff > w {
+			t.Fatalf("q%.2f: estimate %v not within one bucket (%v) of exact %v", q, est, w, exact)
 		}
 	}
 }

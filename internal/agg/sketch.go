@@ -1,0 +1,482 @@
+package agg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"time"
+)
+
+// Centroid is one weighted point of a Sketch: Weight observations whose
+// mean is Mean. Centroids are kept sorted by mean.
+type Centroid struct {
+	Mean   float64 `json:"m"`
+	Weight int64   `json:"w"`
+}
+
+// Sketch is a mergeable t-digest-style streaming quantile sketch: it
+// summarizes an unbounded stream of observations in O(Compression)
+// centroids, keeps min and max exactly, and answers arbitrary quantiles
+// with a rank-error bound proportional to q·(1−q) — tightest exactly at
+// the tails, where the fixed-range Hist saturates (every observation ≥
+// its upper edge collapses into Over, pinning p99 at the range cap for
+// heavy-tailed cells). Sketches built over disjoint chunks of a sample
+// and merged in any order describe the same distribution within
+// QuantileErrorBound of the whole-stream sketch.
+//
+// The compression pass is deterministic: given the same insertion
+// order, Add and Merge always produce the same centroids. Different
+// fold orders (different worker schedules) produce different centroids
+// but the same quantiles within the documented bound — which is why
+// cross-run comparisons (ingested vs offline aggregates) check
+// quantile agreement within the bound rather than centroid equality.
+//
+// Like Hist and Moments, a Sketch is not safe for concurrent use;
+// callers serialize access (worker-local folds, stripe locks).
+type Sketch struct {
+	// Compression bounds the centroid count and sets the error bound;
+	// see NewSketch.
+	Compression float64
+	// Count is the total number of observations folded in.
+	Count int64
+	// MinV / MaxV are the exact extremes of the stream.
+	MinV float64
+	MaxV float64
+	// Centroids is the compressed summary, sorted by mean. Buffered
+	// observations not yet compressed are excluded; call Flush before
+	// reading Centroids directly.
+	Centroids []Centroid
+
+	buf []float64 // uncompressed recent observations
+}
+
+// Sketch sizing. The default compression keeps ≤ ~2·Compression
+// centroids (~6 KiB) per sketch and a p99/p01 rank error two orders of
+// magnitude below the histogram's saturated tail.
+const (
+	DefaultSketchCompression = 200
+	MinSketchCompression     = 20
+	MaxSketchCompression     = 1000
+)
+
+// NewSketch builds a sketch. compression <= 0 selects the default; the
+// value is clamped to [MinSketchCompression, MaxSketchCompression].
+func NewSketch(compression float64) *Sketch {
+	return &Sketch{Compression: clampCompression(compression)}
+}
+
+func clampCompression(c float64) float64 {
+	switch {
+	case c <= 0 || math.IsNaN(c):
+		return DefaultSketchCompression
+	case c < MinSketchCompression:
+		return MinSketchCompression
+	case c > MaxSketchCompression:
+		return MaxSketchCompression
+	default:
+		return c
+	}
+}
+
+// normalize floors an unset or out-of-range compression (a zero-value
+// Sketch, or one decoded from JSON that never went through Valid, e.g.
+// a fleet report round-trip) before it is used. Without this, 0 would
+// merge every centroid into one (kScale is flat at compression 0) and
+// make QuantileErrorBound infinite; a huge value would stop the buffer
+// from ever flushing.
+func (s *Sketch) normalize() {
+	if s.Compression < MinSketchCompression || s.Compression > MaxSketchCompression || math.IsNaN(s.Compression) {
+		s.Compression = clampCompression(s.Compression)
+	}
+}
+
+// bufLimit is the buffered-observation count that triggers a
+// compression pass; compression cost amortizes over it.
+func (s *Sketch) bufLimit() int {
+	n := int(4 * s.Compression)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Add folds one observation in.
+func (s *Sketch) Add(v float64) {
+	s.normalize()
+	if s.Count == 0 || v < s.MinV {
+		s.MinV = v
+	}
+	if s.Count == 0 || v > s.MaxV {
+		s.MaxV = v
+	}
+	s.Count++
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.bufLimit() {
+		s.Flush()
+	}
+}
+
+// AddDuration folds one duration in as float nanoseconds, the unit
+// every RTT aggregate in this repo uses.
+func (s *Sketch) AddDuration(d time.Duration) { s.Add(float64(d)) }
+
+// N returns the total observation count.
+func (s *Sketch) N() int64 { return s.Count }
+
+// Flush compresses any buffered observations into the centroid list.
+// Idempotent; called automatically by Quantile, Merge, and JSON
+// marshalling.
+func (s *Sketch) Flush() {
+	s.normalize()
+	if len(s.buf) == 0 {
+		return
+	}
+	slices.Sort(s.buf)
+	fresh := make([]Centroid, len(s.buf))
+	for i, v := range s.buf {
+		fresh[i] = Centroid{Mean: v, Weight: 1}
+	}
+	s.buf = s.buf[:0]
+	s.Centroids = compressCentroids(mergeSortedCentroids(s.Centroids, fresh), s.Count, s.Compression)
+}
+
+// mergeSortedCentroids linearly merges two mean-sorted centroid lists —
+// both Flush and Merge combine lists that are sorted by construction,
+// so no comparison sort is needed.
+func mergeSortedCentroids(a, b []Centroid) []Centroid {
+	out := make([]Centroid, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Mean <= b[j].Mean) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// kScale is the t-digest k1 scale function, compression/(2π)·asin(2q−1):
+// a centroid may only span one k-unit, and since dk/dq diverges as q→0
+// or 1, tail centroids shrink to single observations while mid-range
+// centroids grow — resolution concentrates exactly where Hist loses it.
+// The total k-span of [0,1] is compression/2, which bounds the centroid
+// count independently of stream length.
+func kScale(q, compression float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// compressCentroids runs the deterministic single-pass merge over a
+// mean-sorted centroid list: adjacent centroids coalesce while the
+// combined centroid still spans at most one k-unit of the scale
+// function.
+func compressCentroids(sorted []Centroid, total int64, compression float64) []Centroid {
+	if len(sorted) == 0 {
+		return nil
+	}
+	out := make([]Centroid, 0, len(sorted)/2+1)
+	cur := sorted[0]
+	var wSoFar int64
+	tf := float64(total)
+	kLeft := kScale(0, compression)
+	for _, c := range sorted[1:] {
+		proposed := cur.Weight + c.Weight
+		qRight := float64(wSoFar+proposed) / tf
+		if kScale(qRight, compression)-kLeft <= 1 {
+			cur.Mean += (c.Mean - cur.Mean) * float64(c.Weight) / float64(proposed)
+			cur.Weight = proposed
+		} else {
+			out = append(out, cur)
+			wSoFar += cur.Weight
+			kLeft = kScale(float64(wSoFar)/tf, compression)
+			cur = c
+		}
+	}
+	return append(out, cur)
+}
+
+// Merge folds another sketch in without mutating it; the merged sketch
+// summarizes the union of both streams. It adopts the coarser (smaller)
+// compression of the two: resolution already lost to a
+// lower-compression input cannot be recovered by re-labelling, so
+// keeping the finer value would make QuantileErrorBound silently
+// understate the true error of the merged data.
+func (s *Sketch) Merge(o *Sketch) {
+	s.normalize()
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if oc := clampCompression(o.Compression); oc < s.Compression {
+		s.Compression = oc
+	}
+	if s.Count == 0 || o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if s.Count == 0 || o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+	// Both centroid lists are sorted by construction, so the combine is
+	// a linear merge; only buffered observations (never present on
+	// wire-decoded sketches) need a sort, via Flush. o is cloned before
+	// flushing so Merge never mutates its argument.
+	s.Flush()
+	flat := o
+	if len(o.buf) > 0 {
+		flat = o.Clone()
+		flat.Flush()
+	}
+	s.Count += o.Count
+	s.Centroids = compressCentroids(mergeSortedCentroids(s.Centroids, flat.Centroids), s.Count, s.Compression)
+}
+
+// MergeSketches merges src into *dst for a pair of aggregates that
+// folded dstN and srcN observations respectively. A sketch may only
+// serve quantiles when it covers every observation its aggregate
+// folded; when either side folded observations without a sketch (a
+// record predating sketches), the merged sketch would silently describe
+// a subset of the distribution, so it is dropped instead and callers
+// fall back to their histogram path. Shared by the fleet group merge
+// and the ingest cell merge so the coverage rule cannot drift.
+func MergeSketches(dst **Sketch, dstN int64, src *Sketch, srcN int64) {
+	dstCovers := dstN == 0 || (*dst != nil && (*dst).Count == dstN)
+	srcCovers := srcN == 0 || (src != nil && src.Count == srcN)
+	if !dstCovers || !srcCovers {
+		*dst = nil
+		return
+	}
+	if src == nil || src.Count == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = src.Clone()
+		return
+	}
+	(*dst).Merge(src)
+}
+
+// Clone returns an independent deep copy.
+func (s *Sketch) Clone() *Sketch {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Centroids = append([]Centroid(nil), s.Centroids...)
+	c.buf = append([]float64(nil), s.buf...)
+	return &c
+}
+
+// Shifted returns an independent copy with delta added to every value,
+// clamped from below at floor — the shape puncturing needs: subtracting
+// a correction from a device-posted sketch while keeping corrected RTTs
+// non-negative, exactly as the per-observation path clamps.
+func (s *Sketch) Shifted(delta, floor float64) *Sketch {
+	c := s.Clone()
+	c.Flush()
+	clamp := func(v float64) float64 {
+		if v += delta; v < floor {
+			return floor
+		}
+		return v
+	}
+	for i := range c.Centroids {
+		c.Centroids[i].Mean = clamp(c.Centroids[i].Mean)
+	}
+	if c.Count > 0 {
+		c.MinV = clamp(c.MinV)
+		c.MaxV = clamp(c.MaxV)
+	}
+	return c
+}
+
+// Quantile estimates the q-th quantile (0..1) by interpolating between
+// centroid means, with the exact min and max anchoring the extremes.
+// Compresses buffered observations first.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.MinV
+	}
+	if q >= 1 {
+		return s.MaxV
+	}
+	s.Flush()
+	cs := s.Centroids
+	if len(cs) == 1 {
+		return cs[0].Mean
+	}
+	target := q * float64(s.Count)
+	// Each centroid's mass is treated as centered at its mean: centroid
+	// i's mean sits at rank cum_i + w_i/2. Interpolate linearly between
+	// successive (rank, mean) anchors, with (0, min) and (count, max) as
+	// the outermost anchors.
+	prevMean, prevRank := s.MinV, 0.0
+	var cum float64
+	for _, c := range cs {
+		rank := cum + float64(c.Weight)/2
+		if target < rank {
+			return s.interp(target, prevRank, prevMean, rank, c.Mean)
+		}
+		prevMean, prevRank = c.Mean, rank
+		cum += float64(c.Weight)
+	}
+	return s.interp(target, prevRank, prevMean, float64(s.Count), s.MaxV)
+}
+
+// QuantileDuration returns Quantile as a duration.
+func (s *Sketch) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+func (s *Sketch) interp(target, r0, v0, r1, v1 float64) float64 {
+	v := v0
+	if r1 > r0 {
+		v = v0 + (v1-v0)*(target-r0)/(r1-r0)
+	}
+	if v < s.MinV {
+		v = s.MinV
+	}
+	if v > s.MaxV {
+		v = s.MaxV
+	}
+	return v
+}
+
+// QuantileErrorBound returns the documented rank-error bound ε(q): the
+// value Quantile(q) returns lies between the stream's exact quantiles
+// at ranks q−ε and q+ε. A centroid at q holds at most one k-unit of
+// mass, ≈ 2π·√(q·(1−q))·N/Compression observations, and the centering
+// assumption can be off by half of that; the documented bound doubles
+// the structural π·√(q(1−q))/Compression to absorb merge drift, plus
+// one observation of discreteness slack. It shrinks toward the tails;
+// typical error is several times smaller still. Tests and the
+// ingested-vs-offline verifier both consume this bound, so loosening it
+// is a visible contract change.
+func (s *Sketch) QuantileErrorBound(q float64) float64 {
+	s.normalize()
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	eps := 2 * math.Pi * math.Sqrt(q*(1-q)) / s.Compression
+	if s.Count > 0 {
+		eps += 1 / float64(s.Count)
+	}
+	return eps
+}
+
+// maxCentroids is the validation cap on the centroid list for a given
+// compression. The structural bound is ~compression+2 at any stream
+// length (adjacent kept centroids jointly span more than one k-unit of
+// the compression/2 total); the cap adds a little slack for rounding
+// at the k-scale extremes so a legitimate encoder is never rejected,
+// and anything past it is a malformed or hostile wire sketch.
+func maxCentroids(compression float64) int {
+	return int(compression) + 16
+}
+
+// Valid rejects sketches that would poison aggregates when merged —
+// the wire-facing checks a server runs on device-posted summaries.
+func (s *Sketch) Valid() error {
+	if math.IsNaN(s.Compression) || s.Compression < MinSketchCompression || s.Compression > MaxSketchCompression {
+		return fmt.Errorf("agg: sketch compression %v outside [%d,%d]",
+			s.Compression, MinSketchCompression, MaxSketchCompression)
+	}
+	if s.Count < 0 {
+		return fmt.Errorf("agg: sketch count %d negative", s.Count)
+	}
+	if len(s.Centroids) > maxCentroids(s.Compression) {
+		return fmt.Errorf("agg: sketch has %d centroids, cap %d for compression %g",
+			len(s.Centroids), maxCentroids(s.Compression), s.Compression)
+	}
+	var sum int64
+	prev := math.Inf(-1)
+	for i, c := range s.Centroids {
+		if c.Weight < 1 || c.Weight > s.Count {
+			return fmt.Errorf("agg: sketch centroid %d weight %d outside [1,%d]", i, c.Weight, s.Count)
+		}
+		if math.IsNaN(c.Mean) || math.IsInf(c.Mean, 0) {
+			return fmt.Errorf("agg: sketch centroid %d has non-finite mean", i)
+		}
+		if c.Mean < prev {
+			return fmt.Errorf("agg: sketch centroids not sorted at %d", i)
+		}
+		prev = c.Mean
+		sum += c.Weight
+		// Each weight is bounded by Count above, so the running sum can
+		// overflow at most once per step — going negative or past Count —
+		// before the final equality check; catching it here keeps a
+		// hostile wire sketch from wrapping the sum back to a plausible
+		// total.
+		if sum < 0 || sum > s.Count {
+			return fmt.Errorf("agg: sketch centroid weights exceed count %d", s.Count)
+		}
+	}
+	if sum+int64(len(s.buf)) != s.Count {
+		return fmt.Errorf("agg: sketch count %d != centroid weight sum %d", s.Count, sum+int64(len(s.buf)))
+	}
+	if s.Count > 0 {
+		if math.IsNaN(s.MinV) || math.IsInf(s.MinV, 0) || math.IsNaN(s.MaxV) || math.IsInf(s.MaxV, 0) {
+			return errors.New("agg: sketch min/max not finite")
+		}
+		if s.MinV > s.MaxV {
+			return fmt.Errorf("agg: sketch min %v above max %v", s.MinV, s.MaxV)
+		}
+		if len(s.Centroids) > 0 &&
+			(s.Centroids[0].Mean < s.MinV || s.Centroids[len(s.Centroids)-1].Mean > s.MaxV) {
+			return errors.New("agg: sketch centroid means outside [min,max]")
+		}
+	}
+	return nil
+}
+
+// sketchWire is the JSON shape; the buffer is always flushed into
+// centroids before encoding, so the wire form is canonical.
+type sketchWire struct {
+	Compression float64    `json:"compression"`
+	Count       int64      `json:"count"`
+	Min         float64    `json:"min"`
+	Max         float64    `json:"max"`
+	Centroids   []Centroid `json:"centroids,omitempty"`
+}
+
+// MarshalJSON flushes and encodes the canonical form.
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	s.Flush()
+	return json.Marshal(sketchWire{
+		Compression: s.Compression,
+		Count:       s.Count,
+		Min:         s.MinV,
+		Max:         s.MaxV,
+		Centroids:   s.Centroids,
+	})
+}
+
+// UnmarshalJSON decodes the canonical form.
+func (s *Sketch) UnmarshalJSON(b []byte) error {
+	var w sketchWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Sketch{
+		Compression: w.Compression,
+		Count:       w.Count,
+		MinV:        w.Min,
+		MaxV:        w.Max,
+		Centroids:   w.Centroids,
+	}
+	return nil
+}

@@ -22,6 +22,9 @@ type (
 	// Hist is a mergeable fixed-range histogram over durations. See
 	// agg.Hist.
 	Hist = agg.Hist
+	// Sketch is a mergeable t-digest-style quantile sketch. See
+	// agg.Sketch.
+	Sketch = agg.Sketch
 )
 
 // NewHist builds a histogram with the given geometry.
@@ -30,9 +33,10 @@ func NewHist(lo, hi time.Duration, bins int) *Hist { return agg.NewHist(lo, hi, 
 func newDuHist() *Hist { return agg.NewDurationHist() }
 
 // GroupAggregate is the campaign-level fold of every session sharing one
-// scenario label. All fields merge exactly (counts, histogram) or
-// stably (moments), so per-worker aggregates combine into the same
-// report regardless of how sessions were scheduled.
+// scenario label. All fields merge exactly (counts, histogram), stably
+// (moments), or within a documented quantile error bound (sketch), so
+// per-worker aggregates combine into the same report regardless of how
+// sessions were scheduled.
 type GroupAggregate struct {
 	Label    string `json:"label"`
 	Sessions int64  `json:"sessions"`
@@ -44,10 +48,14 @@ type GroupAggregate struct {
 	ProbesLost     int64 `json:"probes_lost"`
 	BackgroundSent int64 `json:"background_sent"`
 
-	// Du folds every user-level RTT observation (ns) of the group; DuHist
-	// backs the campaign delay-distribution quantiles.
-	Du     Moments `json:"du"`
-	DuHist *Hist   `json:"du_hist"`
+	// Du folds every user-level RTT observation (ns) of the group.
+	// DuSketch backs the campaign delay-distribution quantiles —
+	// unclamped and tail-accurate where the fixed-range DuHist saturates
+	// every observation ≥ 500 ms into Over; DuHist stays for
+	// fixed-resolution CDF/table rendering and replay.
+	Du       Moments `json:"du"`
+	DuHist   *Hist   `json:"du_hist"`
+	DuSketch *Sketch `json:"du_sketch,omitempty"`
 
 	// Inflation folds per-session inflation factors
 	// (mean du ÷ emulated path RTT; dimensionless).
@@ -69,7 +77,7 @@ type GroupAggregate struct {
 }
 
 func newGroupAggregate(label string) *GroupAggregate {
-	return &GroupAggregate{Label: label, DuHist: newDuHist()}
+	return &GroupAggregate{Label: label, DuHist: newDuHist(), DuSketch: agg.NewSketch(0)}
 }
 
 // fold absorbs one finished session. sample carries the raw user RTTs;
@@ -87,6 +95,7 @@ func (g *GroupAggregate) fold(r *SessionResult, sample stats.Sample) {
 	for _, v := range sample {
 		g.Du.Add(float64(v))
 		g.DuHist.Add(v)
+		g.DuSketch.AddDuration(v)
 	}
 	if r.Inflation > 0 {
 		g.Inflation.Add(r.Inflation)
@@ -104,16 +113,26 @@ func (g *GroupAggregate) fold(r *SessionResult, sample stats.Sample) {
 	}
 }
 
-// Merge folds another group's aggregate in.
+// Merge folds another group's aggregate in. On error (histogram
+// geometry mismatch) the receiver is unchanged.
 func (g *GroupAggregate) Merge(o *GroupAggregate) error {
 	if o == nil {
 		return nil
+	}
+	// Geometry is the only fallible step; check it before mutating any
+	// field so a failed merge cannot leave sketch/moments including data
+	// the histogram rejected.
+	if err := g.DuHist.CheckGeometry(o.DuHist); err != nil {
+		return err
 	}
 	g.Sessions += o.Sessions
 	g.Errors += o.Errors
 	g.ProbesSent += o.ProbesSent
 	g.ProbesLost += o.ProbesLost
 	g.BackgroundSent += o.BackgroundSent
+	// Coverage-aware: merging with a pre-sketch record drops the sketch
+	// (capture the fold counts before the moments merge below).
+	agg.MergeSketches(&g.DuSketch, g.Du.N, o.DuSketch, o.Du.N)
 	g.Du.Merge(o.Du)
 	if err := g.DuHist.Merge(o.DuHist); err != nil {
 		return err
@@ -125,6 +144,21 @@ func (g *GroupAggregate) Merge(o *GroupAggregate) error {
 	g.PSMActiveSessions += o.PSMActiveSessions
 	g.CalibratedSessions += o.CalibratedSessions
 	return nil
+}
+
+// DuQuantile returns the q-th (0..1) quantile of the group's
+// user-level RTT distribution: from the sketch when it covers every
+// folded observation, falling back to the 0.5 ms-binned, 500 ms-capped
+// histogram for reports recorded (or merged with ones recorded) before
+// sketches existed.
+func (g *GroupAggregate) DuQuantile(q float64) time.Duration {
+	if g.DuSketch != nil && g.DuSketch.Count > 0 && g.DuSketch.Count == g.Du.N {
+		return g.DuSketch.QuantileDuration(q)
+	}
+	if g.DuHist != nil {
+		return g.DuHist.Quantile(q)
+	}
+	return 0
 }
 
 // LossRate returns the fraction of probes lost.
@@ -234,9 +268,9 @@ func (r *Report) Render() string {
 			fmt.Sprintf("%d", g.ProbesSent),
 			fmt.Sprintf("%.1f%%", g.LossRate()*100),
 			fmt.Sprintf("%s±%s", ms(g.Du.Mean), ms(g.Du.Stddev())),
-			ms(float64(g.DuHist.Quantile(0.50))),
-			ms(float64(g.DuHist.Quantile(0.90))),
-			ms(float64(g.DuHist.Quantile(0.99))),
+			ms(float64(g.DuQuantile(0.50))),
+			ms(float64(g.DuQuantile(0.90))),
+			ms(float64(g.DuQuantile(0.99))),
 			fmt.Sprintf("%.2f×", g.Inflation.Mean),
 			ms(g.UserOverhead.Mean),
 			ms(g.SDIOOverhead.Mean),

@@ -1,8 +1,11 @@
 package fleet
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -190,5 +193,137 @@ func TestGroupAggregateMergeMatchesSinglePass(t *testing.T) {
 		if pair[0].N != pair[1].N || !approxEq(pair[0].Mean, pair[1].Mean, 1e-9) {
 			t.Errorf("moments diverge: %+v vs %+v", pair[0], pair[1])
 		}
+	}
+}
+
+// TestGroupAggregateHeavyTailQuantiles is the bugfix's fleet-side
+// acceptance check: with 10% of observations in 0.5–5 s (cellular
+// promotion / PSM sweep territory) the fixed-range histogram pins p99
+// at exactly its 500 ms cap, while the sketch-backed DuQuantile lands
+// within the documented rank-error bound of the exact retained sample —
+// regardless of how sessions were sharded over workers.
+func TestGroupAggregateHeavyTailQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var all stats.Sample
+	const workers = 5
+	parts := make([]*GroupAggregate, workers)
+	for w := range parts {
+		parts[w] = newGroupAggregate("g")
+	}
+	for i := 0; i < 400; i++ {
+		s := make(stats.Sample, 100)
+		for j := range s {
+			if rng.Intn(10) == 0 {
+				s[j] = 500*time.Millisecond + time.Duration(rng.Int63n(int64(4500*time.Millisecond)))
+			} else {
+				s[j] = 10*time.Millisecond + time.Duration(rng.Int63n(int64(90*time.Millisecond)))
+			}
+		}
+		all = append(all, s...)
+		r := SessionResult{Sent: len(s)}
+		parts[i%workers].fold(&r, s)
+	}
+	g := newGroupAggregate("g")
+	for _, p := range parts {
+		if err := g.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if g.DuHist.Over == 0 {
+		t.Fatal("workload should overflow the histogram range")
+	}
+	// The pre-sketch failure mode, kept visible: the histogram clamps.
+	if got := g.DuHist.Quantile(0.99); got != 500*time.Millisecond {
+		t.Fatalf("histogram p99 %v, want clamp at 500ms", got)
+	}
+	sorted := make(stats.Sample, len(all))
+	copy(sorted, all)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		eps := g.DuSketch.QuantileErrorBound(q)
+		lo := sorted.Percentile(100 * (q - eps))
+		hi := sorted.Percentile(100 * (q + eps))
+		got := g.DuQuantile(q)
+		if got < lo || got > hi {
+			t.Errorf("p%g = %v outside exact rank bracket [%v, %v] (ε=%.2g)", q*100, got, lo, hi, eps)
+		}
+	}
+	if p99 := g.DuQuantile(0.99); p99 < time.Second {
+		t.Fatalf("sketch p99 %v still near the histogram cap", p99)
+	}
+}
+
+// TestReportJSONCarriesSketch locks the report wire format: the
+// machine-readable campaign record round-trips the group sketch, so a
+// replayed or archived report answers unclamped quantiles too.
+func TestReportJSONCarriesSketch(t *testing.T) {
+	g := newGroupAggregate("g")
+	s := make(stats.Sample, 1000)
+	for i := range s {
+		s[i] = time.Duration(i+1) * 2 * time.Millisecond // up to 2s, half over the hist cap
+	}
+	r := SessionResult{Sent: len(s)}
+	g.fold(&r, s)
+	rep := &Report{Name: "json", Scenario: "custom", Groups: []*GroupAggregate{g}}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"du_sketch"`) {
+		t.Fatal("report JSON missing du_sketch")
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	bg := back.Group("g")
+	if bg == nil || bg.DuSketch == nil || bg.DuSketch.Count != int64(len(s)) {
+		t.Fatalf("decoded group lost its sketch: %+v", bg)
+	}
+	if got, want := back.Groups[0].DuQuantile(0.99), g.DuQuantile(0.99); got != want {
+		t.Fatalf("p99 changed across JSON round trip: %v != %v", got, want)
+	}
+	// Pre-sketch reports (no du_sketch field) must still render via the
+	// histogram fallback.
+	old := newGroupAggregate("old")
+	old.fold(&r, s)
+	old.DuSketch = nil
+	if got := old.DuQuantile(0.5); got == 0 {
+		t.Fatal("histogram fallback quantile is zero")
+	}
+	// Merging a sketched group into a pre-sketch one must drop the
+	// sketch (it would cover only a subset) and keep the hist fallback.
+	if err := old.Merge(g); err != nil {
+		t.Fatal(err)
+	}
+	if old.DuSketch != nil {
+		t.Fatal("merge with pre-sketch record kept a subset sketch")
+	}
+	if got := old.DuQuantile(0.5); got == 0 {
+		t.Fatal("histogram fallback lost after partial merge")
+	}
+}
+
+// TestMergeGeometryMismatchLeavesReceiverUnchanged pins merge
+// atomicity: a histogram geometry error must not leave the receiver
+// with the other group's sketch/moments already folded in.
+func TestMergeGeometryMismatchLeavesReceiverUnchanged(t *testing.T) {
+	g := newGroupAggregate("g")
+	r := SessionResult{Sent: 3}
+	g.fold(&r, stats.Sample{30 * time.Millisecond, 40 * time.Millisecond, 50 * time.Millisecond})
+
+	bad := newGroupAggregate("bad")
+	bad.fold(&r, stats.Sample{60 * time.Millisecond})
+	bad.DuHist = NewHist(0, time.Second, 7) // incompatible geometry
+
+	before := g.Du
+	beforeSessions := g.Sessions
+	if err := g.Merge(bad); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if g.Du != before || g.Sessions != beforeSessions || g.DuSketch.Count != before.N {
+		t.Fatalf("failed merge mutated receiver: %+v", g)
 	}
 }

@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/stats"
 )
 
 func startTestServer(t *testing.T, cfg Config) *Server {
@@ -472,6 +475,11 @@ func TestDecodeBatchValidation(t *testing.T) {
 		`{"device":"X","sent":1,"background_sent":-1}`,                                    // negative counter
 		`{"device":"X","sent":1,"emulated_rtt_ns":-1}`,                                    // negative path RTT
 		`{"device":"X","sent":1,"layers_ok":true,"user_overhead_ns":4611686018427387904}`, // poison overhead
+		`{"device":"X","sent":2,"rtts_ns":[1000],"sketch":{"compression":200,"count":1,"min":1000,"max":1000,"centroids":[{"m":1000,"w":1}]}}`, // both encodings
+		`{"device":"X","sent":2,"sketch":{"compression":200,"count":2,"min":1000,"max":1000,"centroids":[{"m":1000,"w":1}]}}`,                  // count != weight sum
+		`{"device":"X","sent":1,"sketch":{"compression":200,"count":2,"min":1000,"max":1000,"centroids":[{"m":1000,"w":2}]}}`,                  // more RTTs than sent
+		`{"device":"X","sent":1,"sketch":{"compression":200,"count":1,"min":7e11,"max":7e11,"centroids":[{"m":7e11,"w":1}]}}`,                  // RTT out of range
+		`{"device":"X","sent":1,"sketch":{"compression":1e9,"count":1,"min":1000,"max":1000,"centroids":[{"m":1000,"w":1}]}}`,                  // hostile compression
 	}
 	for _, c := range cases {
 		if _, err := DecodeBatch(strings.NewReader(c), 0); err == nil {
@@ -489,5 +497,196 @@ func TestDecodeBatchValidation(t *testing.T) {
 	}
 	if _, err := DecodeBatch(strings.NewReader(good), 1); err == nil {
 		t.Fatal("expected cap error")
+	}
+}
+
+// TestHeavyTailStatsPercentiles is the bugfix's ingest-side acceptance
+// check: with 10% of reported RTTs in 0.5–5 s, the /stats p99 (sketch-
+// backed) lands within the documented rank-error bound of the exact
+// retained sample, where the histogram path pins p99 at exactly 500 ms
+// — and the saturation is surfaced, not silent.
+func TestHeavyTailStatsPercentiles(t *testing.T) {
+	s := startTestServer(t, Config{Window: -1})
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1, BatchSize: 50}
+
+	rng := rand.New(rand.NewSource(33))
+	var exact stats.Sample
+	var batch []Summary
+	const sessions, k = 200, 50
+	for i := 0; i < sessions; i++ {
+		rtts := make([]int64, k)
+		for j := range rtts {
+			var d time.Duration
+			if rng.Intn(10) == 0 {
+				d = 500*time.Millisecond + time.Duration(rng.Int63n(int64(4500*time.Millisecond)))
+			} else {
+				d = 10*time.Millisecond + time.Duration(rng.Int63n(int64(90*time.Millisecond)))
+			}
+			rtts[j] = int64(d)
+			exact = append(exact, d)
+		}
+		batch = append(batch, Summary{Device: "Google Nexus 5", Sent: k, RTTs: rtts})
+	}
+	if err := lg.Send(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	waitFolded(t, s, sessions)
+
+	resp, err := http.Get(s.URL() + "/stats?by=group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 1 {
+		t.Fatalf("cells: %d", len(sr.Cells))
+	}
+	cell := sr.Cells[0]
+	if cell.Raw.HistOver == 0 {
+		t.Fatal("histogram overflow not surfaced in /stats")
+	}
+	if cell.Raw.TailSaturated {
+		t.Fatal("sketch-backed percentiles must not be flagged saturated")
+	}
+	if cell.Raw.P99RankErr <= 0 || cell.Raw.P99RankErr > 0.01 {
+		t.Fatalf("p99 rank-error bound %.4g not surfaced or implausible", cell.Raw.P99RankErr)
+	}
+
+	// The pre-sketch behavior, pinned: the cell's histogram still clamps.
+	cells, err := s.Store().Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cells[0].RawHist.Quantile(0.99); got != 500*time.Millisecond {
+		t.Fatalf("histogram p99 %v, want clamp at 500ms", got)
+	}
+
+	eps := cells[0].RawSketch.QuantileErrorBound(0.99)
+	lo := stats.Millis(exact.Percentile(100 * (0.99 - eps)))
+	hi := stats.Millis(exact.Percentile(100 * (0.99 + eps)))
+	if cell.Raw.P99MS < lo || cell.Raw.P99MS > hi {
+		t.Fatalf("/stats p99 %.2f ms outside exact rank bracket [%.2f, %.2f] ms", cell.Raw.P99MS, lo, hi)
+	}
+	if cell.Raw.P99MS < 1000 {
+		t.Fatalf("/stats p99 %.2f ms still near the 500 ms histogram cap", cell.Raw.P99MS)
+	}
+}
+
+// TestDeviceSketchSummaries exercises the wire option for devices that
+// cannot ship raw RTTs: a posted sketch merges into the cell's raw
+// track, and the punctured track is the same sketch shifted down by
+// the session's correction, clamped at zero.
+func TestDeviceSketchSummaries(t *testing.T) {
+	st := NewStore(0, 1)
+	sk := agg.NewSketch(0)
+	rng := rand.New(rand.NewSource(35))
+	var exact stats.Sample
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := 20*time.Millisecond + time.Duration(rng.Int63n(int64(60*time.Millisecond)))
+		sk.AddDuration(d)
+		exact = append(exact, d)
+	}
+	sum := &Summary{Device: "Google Nexus 5", Sent: n, Sketch: sk}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	corr := 10 * time.Millisecond
+	if !st.Fold(sum, corr, SourceLearned) {
+		t.Fatal("fold refused")
+	}
+
+	cells := st.Snapshot()
+	if len(cells) != 1 {
+		t.Fatalf("cells: %d", len(cells))
+	}
+	c := cells[0]
+	if c.RawSketch.Count != n || c.Punctured.N != n || c.Raw.N != n {
+		t.Fatalf("counts: sketch=%d raw=%d punctured=%d, want %d", c.RawSketch.Count, c.Raw.N, c.Punctured.N, n)
+	}
+	if c.Raw.MinV != float64(exact.Min()) || c.Raw.MaxV != float64(exact.Max()) {
+		t.Fatalf("raw min/max (%v,%v) != exact (%v,%v)", c.Raw.MinV, c.Raw.MaxV, exact.Min(), exact.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		eps := c.RawSketch.QuantileErrorBound(q)
+		lo := exact.Percentile(100 * (q - eps))
+		hi := exact.Percentile(100 * (q + eps))
+		if got := c.RawSketch.QuantileDuration(q); got < lo || got > hi {
+			t.Errorf("raw q=%g: %v outside [%v,%v]", q, got, lo, hi)
+		}
+		if got := c.PuncturedSketch.QuantileDuration(q); got < lo-corr-time.Millisecond || got > hi-corr+time.Millisecond {
+			t.Errorf("punctured q=%g: %v not ~%v below raw bracket", q, got, corr)
+		}
+	}
+	if math.Abs(c.Raw.Mean-c.Punctured.Mean-float64(corr)) > float64(time.Millisecond) {
+		t.Fatalf("punctured mean %v not %v below raw %v", c.Punctured.Mean, corr, c.Raw.Mean)
+	}
+
+	// Sketch summaries fold through the live wire path too.
+	s := startTestServer(t, Config{Window: -1})
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1}
+	if err := lg.Send(context.Background(), []Summary{*sum}); err != nil {
+		t.Fatal(err)
+	}
+	waitFolded(t, s, 1)
+	live, err := s.Store().Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0].RawSketch.Count != n {
+		t.Fatalf("wire sketch fold: %+v", live)
+	}
+}
+
+// TestReplayPreservesHeavyTail pins the replay path's quantile source:
+// a recorded report whose sketch carries a heavy tail must replay with
+// the tail intact, not reconstructed from the 500 ms-capped histogram.
+func TestReplayPreservesHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	g := &fleet.GroupAggregate{Label: "heavy", DuHist: agg.NewDurationHist(), DuSketch: agg.NewSketch(0)}
+	g.Sessions = 20
+	g.ProbesSent = 20 * 100
+	for i := 0; i < 2000; i++ {
+		var d time.Duration
+		if rng.Intn(10) == 0 {
+			d = 500*time.Millisecond + time.Duration(rng.Int63n(int64(4500*time.Millisecond)))
+		} else {
+			d = 10*time.Millisecond + time.Duration(rng.Int63n(int64(90*time.Millisecond)))
+		}
+		g.Du.Add(float64(d))
+		g.DuHist.Add(d)
+		g.DuSketch.AddDuration(d)
+	}
+	rep := &fleet.Report{Name: "heavy", Scenario: "custom", Groups: []*fleet.GroupAggregate{g}}
+
+	s := startTestServer(t, Config{Window: -1})
+	lg := &LoadGen{URL: s.URL(), TimeMS: 1, BatchSize: 8}
+	posted, err := lg.ReplayReport(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(posted) != g.Sessions {
+		t.Fatalf("posted %d, want %d", posted, g.Sessions)
+	}
+	waitFolded(t, s, g.Sessions)
+	cells, err := s.Store().Query(RollupGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Raw.N != 2000 {
+		t.Fatalf("replayed cells: %+v", cells)
+	}
+	// The whole point: p99 must survive the round trip, seconds past
+	// the histogram cap the old hist-only reconstruction clamped to.
+	origP99 := g.DuSketch.QuantileDuration(0.99)
+	gotP99 := cells[0].RawSketch.QuantileDuration(0.99)
+	if gotP99 < time.Second {
+		t.Fatalf("replayed p99 %v collapsed to the histogram cap", gotP99)
+	}
+	if diff := gotP99 - origP99; diff < -200*time.Millisecond || diff > 200*time.Millisecond {
+		t.Fatalf("replayed p99 %v far from recorded %v", gotP99, origP99)
 	}
 }

@@ -203,10 +203,12 @@ func (lg *LoadGen) StreamCampaign(ctx context.Context, c fleet.Campaign) (*fleet
 }
 
 // ReplayReport resamples a recorded campaign report through the wire:
-// for every group it reconstructs the du distribution from the report
-// histogram (bucket midpoints at bucket counts) and spreads it over the
-// group's session count, preserving session/probe totals exactly and
-// the delay distribution to bucket resolution. Group-mean overheads
+// for every group it reconstructs the du distribution — from the
+// report's quantile sketch when it covers the sample (centroid means at
+// centroid weights, preserving the tail past the histogram range), else
+// from the report histogram (bucket midpoints at bucket counts, tail
+// clamped at the range cap) — and spreads it over the group's session
+// count, preserving session/probe totals exactly. Group-mean overheads
 // ride along on every synthesized summary, so the server's puncturing
 // path exercises the same corrections the live campaign would. Returns
 // the number of summaries posted.
@@ -218,11 +220,16 @@ func (lg *LoadGen) ReplayReport(ctx context.Context, rep *fleet.Report) (int, er
 		if n <= 0 || g.DuHist == nil {
 			continue
 		}
-		// Samples are generated lazily from the histogram cursor, so a
+		// Samples are generated lazily from a cursor, so a
 		// million-session recorded report costs O(BatchSize) memory here
 		// rather than materializing every reconstructed RTT at once.
-		cur := histCursor{h: g.DuHist}
+		var cur sampleCursor = &histCursor{h: g.DuHist}
 		total := int(g.DuHist.N())
+		if g.DuSketch != nil && g.DuSketch.Count == g.DuHist.N() {
+			flat := g.DuSketch.Clone()
+			flat.Flush()
+			cur = &sketchCursor{cs: flat.Centroids}
+		}
 		sent, lost, bg := int(g.ProbesSent), int(g.ProbesLost), int(g.BackgroundSent)
 		batch := make([]Summary, 0, lg.BatchSize)
 		for i := 0; i < n; i++ {
@@ -269,6 +276,42 @@ func (lg *LoadGen) ReplayReport(ctx context.Context, rep *fleet.Report) (int, er
 		posted += len(batch)
 	}
 	return posted, nil
+}
+
+// sampleCursor lazily walks a virtual reconstructed sample.
+type sampleCursor interface {
+	// take returns the next n reconstructed samples (fewer only if the
+	// source is exhausted).
+	take(n int) []int64
+}
+
+// sketchCursor streams a sketch's reconstructed sample in order: each
+// centroid emits Weight copies of its mean. Unlike histCursor it
+// preserves the tail past the histogram range, so replayed heavy-tail
+// reports keep their real upper percentiles.
+type sketchCursor struct {
+	cs      []agg.Centroid
+	idx     int
+	emitted int64
+}
+
+func (c *sketchCursor) take(n int) []int64 {
+	out := make([]int64, 0, n)
+	for len(out) < n && c.idx < len(c.cs) {
+		ct := c.cs[c.idx]
+		if c.emitted < ct.Weight {
+			v := int64(ct.Mean)
+			if v < 0 {
+				v = 0
+			}
+			out = append(out, v)
+			c.emitted++
+			continue
+		}
+		c.idx++
+		c.emitted = 0
+	}
+	return out
 }
 
 // histCursor streams a histogram's reconstructed sample in order:

@@ -370,7 +370,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // TrackStats is the derived view of one observation track (raw or
-// punctured), in the paper's milliseconds.
+// punctured), in the paper's milliseconds. Percentiles come from the
+// track's quantile sketch when present (unclamped, accurate past the
+// histogram range); HistUnder/HistOver surface the fixed-range
+// histogram's out-of-range mass so a saturated histogram tail — which
+// used to be silently reported as exactly 500 ms — is visible in the
+// schema, and TailSaturated marks percentiles that still had to come
+// from a saturated histogram.
 type TrackStats struct {
 	Samples  int64   `json:"samples"`
 	MeanMS   float64 `json:"mean_ms"`
@@ -380,18 +386,46 @@ type TrackStats struct {
 	P50MS    float64 `json:"p50_ms"`
 	P90MS    float64 `json:"p90_ms"`
 	P99MS    float64 `json:"p99_ms"`
+	// HistUnder / HistOver count observations outside the histogram's
+	// [0, 500 ms) range.
+	HistUnder int64 `json:"hist_under,omitempty"`
+	HistOver  int64 `json:"hist_over,omitempty"`
+	// TailSaturated is set when no covering sketch was available and
+	// HistOver > 0: percentiles came from a histogram whose range
+	// overflowed, so any percentile value sitting at the range cap is a
+	// clamp, not a measurement.
+	TailSaturated bool `json:"tail_saturated,omitempty"`
+	// P99RankErr is the sketch's documented rank-error bound at q=0.99
+	// (0 when percentiles came from the histogram). Normally ~0.003 at
+	// the default compression; visibly larger when coarse device-posted
+	// sketches were merged into the cell.
+	P99RankErr float64 `json:"p99_rank_err,omitempty"`
 }
 
-func trackStats(m agg.Moments, h *agg.Hist) TrackStats {
+func trackStats(m agg.Moments, h *agg.Hist, sk *agg.Sketch) TrackStats {
 	ms := func(f float64) float64 { return f / float64(time.Millisecond) }
 	t := TrackStats{Samples: m.N, MeanMS: ms(m.Mean), StddevMS: ms(m.Stddev())}
 	if m.N > 0 {
 		t.MinMS, t.MaxMS = ms(m.MinV), ms(m.MaxV)
 	}
 	if h != nil {
+		t.HistUnder, t.HistOver = h.Under, h.Over
+	}
+	switch {
+	// The sketch serves percentiles only when it covers every folded
+	// observation — a cell merged from pre-sketch records falls back to
+	// the histogram rather than serving a subset's quantiles as the
+	// distribution's.
+	case sk != nil && sk.Count > 0 && sk.Count == m.N:
+		t.P50MS = ms(sk.Quantile(0.50))
+		t.P90MS = ms(sk.Quantile(0.90))
+		t.P99MS = ms(sk.Quantile(0.99))
+		t.P99RankErr = sk.QuantileErrorBound(0.99)
+	case h != nil:
 		t.P50MS = ms(float64(h.Quantile(0.50)))
 		t.P90MS = ms(float64(h.Quantile(0.90)))
 		t.P99MS = ms(float64(h.Quantile(0.99)))
+		t.TailSaturated = h.Over > 0
 	}
 	return t
 }
@@ -428,8 +462,8 @@ func StatsFor(c *Cell) CellStats {
 		ProbesLost:         c.ProbesLost,
 		LossRate:           c.LossRate(),
 		BackgroundSent:     c.BackgroundSent,
-		Raw:                trackStats(c.Raw, c.RawHist),
-		Punctured:          trackStats(c.Punctured, c.PuncturedHist),
+		Raw:                trackStats(c.Raw, c.RawHist, c.RawSketch),
+		Punctured:          trackStats(c.Punctured, c.PuncturedHist, c.PuncturedSketch),
 		CorrectionMeanMS:   ms(c.Correction.Mean),
 		InflationMean:      c.Inflation.Mean,
 		UserOverheadMS:     ms(c.UserOverhead.Mean),
@@ -510,15 +544,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // RenderStats renders a stats response as a paper-style table: raw and
 // punctured delay side by side, plus the applied correction and its
-// provenance.
+// provenance. Percentiles are sketch-backed; the ">range" column shows
+// each track's histogram overflow mass (raw/punctured), and a
+// percentile that came from a saturated histogram (no sketch, overflow
+// present) and sits at the range cap is suffixed "!" — that value is a
+// clamp, not a measurement. Percentiles below the cap are genuine even
+// on the histogram path.
 func RenderStats(resp StatsResponse) string {
 	t := report.NewTable(
 		fmt.Sprintf("Live ingest aggregates by %s (durations in ms; raw = as reported, punctured = de-inflated).", resp.Rollup),
 		"Cell", "Sessions", "Probes", "Loss",
 		"raw mean±sd", "raw p50", "raw p90", "raw p99",
 		"punct mean", "p50", "p90", "p99",
-		"corr", "src rep/lrn/none", "PSM act.")
+		">range r/p", "corr", "src rep/lrn/none", "PSM act.")
 	f2 := func(f float64) string { return fmt.Sprintf("%.2f", f) }
+	capMS := float64(agg.DurationHistHi) / float64(time.Millisecond)
+	fp := func(tr TrackStats, v float64) string {
+		if tr.TailSaturated && v >= capMS {
+			return fmt.Sprintf("%.2f!", v)
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
 	for _, c := range resp.Cells {
 		label := cellLabel(c.Key, resp.Rollup)
 		t.AddRow(label,
@@ -526,9 +572,10 @@ func RenderStats(resp StatsResponse) string {
 			fmt.Sprintf("%d", c.ProbesSent),
 			fmt.Sprintf("%.1f%%", c.LossRate*100),
 			fmt.Sprintf("%s±%s", f2(c.Raw.MeanMS), f2(c.Raw.StddevMS)),
-			f2(c.Raw.P50MS), f2(c.Raw.P90MS), f2(c.Raw.P99MS),
+			fp(c.Raw, c.Raw.P50MS), fp(c.Raw, c.Raw.P90MS), fp(c.Raw, c.Raw.P99MS),
 			f2(c.Punctured.MeanMS),
-			f2(c.Punctured.P50MS), f2(c.Punctured.P90MS), f2(c.Punctured.P99MS),
+			fp(c.Punctured, c.Punctured.P50MS), fp(c.Punctured, c.Punctured.P90MS), fp(c.Punctured, c.Punctured.P99MS),
+			fmt.Sprintf("%d/%d", c.Raw.HistOver, c.Punctured.HistOver),
 			f2(c.CorrectionMeanMS),
 			fmt.Sprintf("%d/%d/%d", c.ReportedSessions, c.LearnedSessions, c.Uncorrected),
 			fmt.Sprintf("%d/%d", c.PSMActiveSessions, c.Sessions))

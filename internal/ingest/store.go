@@ -33,11 +33,18 @@ type Cell struct {
 	ProbesLost     int64 `json:"probes_lost"`
 	BackgroundSent int64 `json:"background_sent"`
 
-	Raw     agg.Moments `json:"raw"`
-	RawHist *agg.Hist   `json:"raw_hist"`
+	// Each track carries moments (mean/variance), a fixed-range
+	// histogram (0.5 ms bins to 500 ms, for CDF/table rendering), and a
+	// quantile sketch — the served percentile source, accurate past the
+	// histogram's range cap where cellular promotions and PSM sweeps
+	// land.
+	Raw       agg.Moments `json:"raw"`
+	RawHist   *agg.Hist   `json:"raw_hist"`
+	RawSketch *agg.Sketch `json:"raw_sketch,omitempty"`
 
-	Punctured     agg.Moments `json:"punctured"`
-	PuncturedHist *agg.Hist   `json:"punctured_hist"`
+	Punctured       agg.Moments `json:"punctured"`
+	PuncturedHist   *agg.Hist   `json:"punctured_hist"`
+	PuncturedSketch *agg.Sketch `json:"punctured_sketch,omitempty"`
 
 	// Correction folds the per-summary correction applied (ns, one
 	// observation per punctured session).
@@ -58,7 +65,13 @@ type Cell struct {
 }
 
 func newCell(k Key) *Cell {
-	return &Cell{Key: k, RawHist: agg.NewDurationHist(), PuncturedHist: agg.NewDurationHist()}
+	return &Cell{
+		Key:             k,
+		RawHist:         agg.NewDurationHist(),
+		PuncturedHist:   agg.NewDurationHist(),
+		RawSketch:       agg.NewSketch(0),
+		PuncturedSketch: agg.NewSketch(0),
+	}
 }
 
 // fold absorbs one summary with its puncturing correction.
@@ -71,12 +84,17 @@ func (c *Cell) fold(s *Summary, corr time.Duration, src CorrectionSource) {
 		d := time.Duration(v)
 		c.Raw.Add(float64(d))
 		c.RawHist.Add(d)
+		c.RawSketch.AddDuration(d)
 		p := d - corr
 		if p < 0 {
 			p = 0
 		}
 		c.Punctured.Add(float64(p))
 		c.PuncturedHist.Add(p)
+		c.PuncturedSketch.AddDuration(p)
+	}
+	if len(s.RTTs) == 0 && s.Sketch != nil && s.Sketch.Count > 0 {
+		c.foldSketch(s.Sketch, corr)
 	}
 	if s.Inflation > 0 {
 		c.Inflation.Add(s.Inflation)
@@ -104,16 +122,68 @@ func (c *Cell) fold(s *Summary, corr time.Duration, src CorrectionSource) {
 	}
 }
 
+// foldSketch absorbs a device-posted sketch summary — the wire shape
+// for sessions that could not retain or transmit raw RTTs. The sketch
+// merges into the cell sketches directly (raw as posted, punctured
+// shifted down by the correction with the same ≥0 clamp the
+// per-observation path applies); moments and the fixed-range histogram
+// fold each centroid as weight copies of its mean, so counts stay
+// consistent across all three aggregates, with min/max taken from the
+// sketch's exact extremes.
+func (c *Cell) foldSketch(sk *agg.Sketch, corr time.Duration) {
+	c.RawSketch.Merge(sk)
+	// One clone+flush serves both tracks: Shifted on the already-flushed
+	// copy skips a second buffer sort under the stripe lock.
+	flat := sk.Clone()
+	flat.Flush()
+	for _, ct := range flat.Centroids {
+		c.Raw.AddN(ct.Mean, ct.Weight)
+		c.RawHist.AddN(time.Duration(ct.Mean), ct.Weight)
+	}
+	if sk.MinV < c.Raw.MinV {
+		c.Raw.MinV = sk.MinV
+	}
+	if sk.MaxV > c.Raw.MaxV {
+		c.Raw.MaxV = sk.MaxV
+	}
+
+	shifted := flat.Shifted(-float64(corr), 0)
+	c.PuncturedSketch.Merge(shifted)
+	for _, ct := range shifted.Centroids {
+		c.Punctured.AddN(ct.Mean, ct.Weight)
+		c.PuncturedHist.AddN(time.Duration(ct.Mean), ct.Weight)
+	}
+	if shifted.MinV < c.Punctured.MinV {
+		c.Punctured.MinV = shifted.MinV
+	}
+	if shifted.MaxV > c.Punctured.MaxV {
+		c.Punctured.MaxV = shifted.MaxV
+	}
+}
+
 // Merge folds another cell's aggregates in (keys need not match; the
 // receiver keeps its own — this is what query-time rollups rely on).
+// On error (histogram geometry mismatch) the receiver is unchanged.
 func (c *Cell) Merge(o *Cell) error {
 	if o == nil {
 		return nil
+	}
+	// Check every fallible step before mutating anything, so a
+	// mismatched cell cannot leave this one half-merged.
+	if err := c.RawHist.CheckGeometry(o.RawHist); err != nil {
+		return err
+	}
+	if err := c.PuncturedHist.CheckGeometry(o.PuncturedHist); err != nil {
+		return err
 	}
 	c.Sessions += o.Sessions
 	c.ProbesSent += o.ProbesSent
 	c.ProbesLost += o.ProbesLost
 	c.BackgroundSent += o.BackgroundSent
+	// Coverage-aware: merging with a pre-sketch cell drops the sketch
+	// (capture the fold counts before the moments merge below).
+	agg.MergeSketches(&c.RawSketch, c.Raw.N, o.RawSketch, o.Raw.N)
+	agg.MergeSketches(&c.PuncturedSketch, c.Punctured.N, o.PuncturedSketch, o.Punctured.N)
 	c.Raw.Merge(o.Raw)
 	if err := c.RawHist.Merge(o.RawHist); err != nil {
 		return err
@@ -148,6 +218,8 @@ func (c *Cell) clone() *Cell {
 	d := *c
 	d.RawHist = c.RawHist.Clone()
 	d.PuncturedHist = c.PuncturedHist.Clone()
+	d.RawSketch = c.RawSketch.Clone()
+	d.PuncturedSketch = c.PuncturedSketch.Clone()
 	return &d
 }
 
@@ -173,9 +245,11 @@ type storeShard struct {
 const DefaultStoreShards = 32
 
 // DefaultMaxCells bounds distinct aggregation cells. Each cell carries
-// two 1000-bucket histograms (~17 KiB), so the default caps aggregate
-// state near half a GiB — without a cap, one hostile batch of unique
-// device names per POST would mint unreclaimable heap until OOM.
+// two 1000-bucket histograms (~17 KiB) plus two quantile sketches
+// (bounded centroids + fold buffer, ~10 KiB each when hot), so the
+// default caps aggregate state near a GiB — without a cap, one hostile
+// batch of unique device names per POST would mint unreclaimable heap
+// until OOM.
 const DefaultMaxCells = 32768
 
 // NewStore builds a store. window <= 0 disables time bucketing (one

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/agg"
 )
 
 // Summary is the wire record one device posts per finished measurement
@@ -39,6 +41,13 @@ type Summary struct {
 
 	// RTTs are the raw user-level per-probe RTT observations (ns).
 	RTTs []int64 `json:"rtts_ns"`
+	// Sketch optionally carries a device-built quantile sketch of the
+	// session's user-level RTTs (ns) instead of the raw observations —
+	// the record a long-running or bandwidth-constrained collector ships
+	// when retaining every probe is not affordable. Mutually exclusive
+	// with RTTs; the server merges it into the cell's raw sketch and
+	// shifts a punctured copy by the session's correction.
+	Sketch *agg.Sketch `json:"sketch,omitempty"`
 	// Sent / Lost account for all probes, including unanswered ones.
 	Sent int `json:"sent"`
 	Lost int `json:"lost"`
@@ -119,6 +128,20 @@ func (s *Summary) Validate() error {
 	for _, v := range s.RTTs {
 		if v < 0 || v > maxRTTNS {
 			return fmt.Errorf("ingest: %s: RTT %dns out of range", s.Device, v)
+		}
+	}
+	if s.Sketch != nil {
+		if len(s.RTTs) > 0 {
+			return fmt.Errorf("ingest: %s: summary carries both raw RTTs and a sketch", s.Device)
+		}
+		if err := s.Sketch.Valid(); err != nil {
+			return fmt.Errorf("ingest: %s: %w", s.Device, err)
+		}
+		if s.Sketch.Count > int64(s.Sent) {
+			return fmt.Errorf("ingest: %s: sketch of %d RTTs for %d sent probes", s.Device, s.Sketch.Count, s.Sent)
+		}
+		if s.Sketch.Count > 0 && (s.Sketch.MinV < 0 || s.Sketch.MaxV > float64(maxRTTNS)) {
+			return fmt.Errorf("ingest: %s: sketch values outside [0,%dns]", s.Device, maxRTTNS)
 		}
 	}
 	return nil

@@ -97,25 +97,31 @@ func (s Sample) Stddev() time.Duration {
 // interpolation between closest ranks (the "type 7" estimator used by R
 // and NumPy's default).
 func (s Sample) Percentile(p float64) time.Duration {
-	n := len(s)
-	if n == 0 {
+	if len(s) == 0 {
 		return 0
 	}
-	c := s.sorted()
+	return s.sorted().percentileSorted(p)
+}
+
+// percentileSorted is Percentile over an already-sorted receiver, so
+// multi-percentile callers (Summarize, Box) sort once and derive every
+// order statistic from the same copy.
+func (s Sample) percentileSorted(p float64) time.Duration {
+	n := len(s)
 	if p <= 0 {
-		return c[0]
+		return s[0]
 	}
 	if p >= 100 {
-		return c[n-1]
+		return s[n-1]
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return c[lo]
+		return s[lo]
 	}
 	frac := rank - float64(lo)
-	return c[lo] + time.Duration(frac*float64(c[hi]-c[lo]))
+	return s[lo] + time.Duration(frac*float64(s[hi]-s[lo]))
 }
 
 // Median returns the 50th percentile.
@@ -171,21 +177,48 @@ type Summary struct {
 	P99    time.Duration
 }
 
-// Summarize computes a Summary in one pass over a sorted copy.
+// Summarize computes a Summary over a single sorted copy: every order
+// statistic derives from the same sort, and mean/variance are computed
+// once and shared by Stddev and CI95. (It once re-sorted per
+// percentile — five full sorts per summary on the per-session hot
+// path.)
 func (s Sample) Summarize() Summary {
-	return Summary{
-		N:      len(s),
-		Mean:   s.Mean(),
-		CI95:   s.CI95(),
-		Min:    s.Min(),
-		Median: s.Median(),
-		Max:    s.Max(),
-		Stddev: s.Stddev(),
-		P25:    s.Percentile(25),
-		P75:    s.Percentile(75),
-		P90:    s.Percentile(90),
-		P99:    s.Percentile(99),
+	n := len(s)
+	if n == 0 {
+		return Summary{}
 	}
+	c := s.sorted()
+	var sum float64
+	for _, v := range c {
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	var variance float64
+	if n >= 2 {
+		var m2 float64
+		for _, v := range c {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		variance = m2 / float64(n-1)
+	}
+	sm := Summary{
+		N:      n,
+		Mean:   time.Duration(mean),
+		Min:    c[0],
+		Max:    c[n-1],
+		Stddev: time.Duration(math.Sqrt(variance)),
+		Median: c.percentileSorted(50),
+		P25:    c.percentileSorted(25),
+		P75:    c.percentileSorted(75),
+		P90:    c.percentileSorted(90),
+		P99:    c.percentileSorted(99),
+	}
+	if n >= 2 {
+		se := math.Sqrt(variance / float64(n))
+		sm.CI95 = time.Duration(tCritical95(n-1) * se)
+	}
+	return sm
 }
 
 // String renders the summary in ms, the paper's unit.
@@ -211,9 +244,9 @@ func (s Sample) Box() Boxplot {
 		return b
 	}
 	c := s.sorted()
-	b.Q1 = c.Percentile(25)
-	b.Median = c.Percentile(50)
-	b.Q3 = c.Percentile(75)
+	b.Q1 = c.percentileSorted(25)
+	b.Median = c.percentileSorted(50)
+	b.Q3 = c.percentileSorted(75)
 	iqr := b.Q3 - b.Q1
 	loFence := b.Q1 - time.Duration(1.5*float64(iqr))
 	hiFence := b.Q3 + time.Duration(1.5*float64(iqr))
