@@ -18,13 +18,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Machine-readable benchmark record for the perf trajectory (ns/op,
-# summaries/sec), archived as BENCH_2.json by the CI bench job. Two
+# summaries/sec, and now BenchmarkSessionRun's ms/session through the
+# unified pipeline), archived as BENCH_4.json by the CI bench job. Two
 # steps so a go test failure stops make instead of hiding in a pipe;
 # CI runs this exact target, keeping local and CI artifacts identical.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-out.txt
-	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_2.json
-	@echo "wrote BENCH_2.json"
+	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_4.json
+	@echo "wrote BENCH_4.json"
 
 lint:
 	$(GO) vet ./...

@@ -10,15 +10,29 @@
 // both by keeping the phone awake with a warm-up packet plus TTL=1
 // background traffic while a native measurement thread probes.
 //
-// This package re-exports the main entry points:
+// The public surface is one context-first pipeline:
 //
-//   - NewTestbed builds the simulated Fig 2 testbed (phone, AP,
-//     sniffers, wired servers, cross-traffic generator);
-//   - Measure runs AcuteMon on a testbed; Calibrate infers the phone's
-//     demotion timers (Tis, Tip) first;
-//   - Ping / HTTPing / JavaPing / Ping2 run the comparison tools;
-//   - LiveMeasure runs the same probing scheme over real sockets;
-//   - the experiments subpackage regenerates every table and figure.
+//	res, err := acutemon.Run(ctx, acutemon.SessionSpec{
+//	        Backend: "sim",       // or "live", "cellular"
+//	        Method:  "acutemon",  // or "ping", "httping", "javaping", "ping2"
+//	})
+//
+// where a Backend provides the environment (simulated Fig 2 rig, real
+// sockets, cellular RRC testbed) and a Method provides the probing
+// scheme, both resolvable by name (Methods / MethodByName, Backends /
+// BackendByName). Every session is context-cancellable, error-returning,
+// and can stream per-probe observations to a SessionSink. The fleet
+// campaign layer (RunCampaign) schedules thousands of SessionSpecs over
+// a worker pool — mixing methods and backends within one report — and
+// the ingest service (StartIngest) aggregates session summaries at
+// crowd scale.
+//
+// Also exported: NewTestbed (the simulated rig, for calibration, pcap
+// export, and layer attribution on a shared capture), Calibrate (the
+// Tis/Tip training procedure), and the per-tool entry points of earlier
+// versions (Measure, Ping, HTTPing, JavaPing, Ping2, LiveMeasure) —
+// now deprecated thin wrappers over Run. The experiments subpackage
+// regenerates every table and figure.
 package acutemon
 
 import (
@@ -32,10 +46,65 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/live"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 	"repro/internal/tools"
 )
+
+// Unified Session API. One pipeline — Run(ctx, SessionSpec) — executes
+// any registered probing method in any registered backend environment.
+type (
+	// SessionSpec parameterises one measurement session; Backend and
+	// Method are required, everything else defaults.
+	SessionSpec = session.Spec
+	// SessionResult is the canonical outcome shared by every
+	// (backend × method) pair: per-probe Records, plain Sent/Lost
+	// fields, background-traffic accounting, and (on sim) per-layer
+	// attribution.
+	SessionResult = session.Result
+	// SessionObservation is one per-probe outcome, both a Result
+	// record and the unit streamed to a SessionSink.
+	SessionObservation = session.Observation
+	// SessionSink receives per-probe observations as a session runs.
+	SessionSink = session.Sink
+	// SessionSinkFunc adapts a function to SessionSink.
+	SessionSinkFunc = session.SinkFunc
+	// SessionLayers is a sim session's per-layer RTT attribution
+	// (du/dk/dn plus Δdu−k and Δdk−n).
+	SessionLayers = session.Layers
+	// SessionMethod is a named probing scheme.
+	SessionMethod = session.Method
+	// SessionBackend is a named environment provider.
+	SessionBackend = session.Backend
+)
+
+// ErrUnsupported marks a (backend × method) pair that cannot run; test
+// with errors.Is.
+var ErrUnsupported = session.ErrUnsupported
+
+// Run executes one measurement session: resolve spec.Backend and
+// spec.Method by name, build the environment, run the scheme. The
+// single entry point behind every deprecated per-tool function, the
+// fleet campaign scheduler, and the CLIs. A cancelled ctx aborts the
+// run and returns the partial result alongside ctx's error.
+func Run(ctx context.Context, spec SessionSpec) (*SessionResult, error) {
+	return session.Run(ctx, spec)
+}
+
+// Methods lists the registered probing schemes (acutemon, ping,
+// httping, javaping, ping2), sorted by name.
+func Methods() []SessionMethod { return session.Methods() }
+
+// MethodByName resolves a probing scheme by name.
+func MethodByName(name string) (SessionMethod, bool) { return session.MethodByName(name) }
+
+// Backends lists the registered environments (cellular, live, sim),
+// sorted by name.
+func Backends() []SessionBackend { return session.Backends() }
+
+// BackendByName resolves an environment by name.
+func BackendByName(name string) (SessionBackend, bool) { return session.BackendByName(name) }
 
 // Re-exported types. The implementation lives in internal packages; the
 // aliases below form the supported public surface.
@@ -92,9 +161,46 @@ func ProfileByName(name string) (Profile, bool) { return android.ProfileByName(n
 // (K=100, dpre=db=20 ms, TTL=1).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// mustSim delegates a deprecated simulated-backend wrapper to Run and
+// unwraps the backend-native result. With a background context and a
+// caller-supplied testbed the pipeline cannot fail; a failure here is a
+// programming error, matching the wrappers' historic can't-fail
+// signatures.
+func mustSim[T any](spec SessionSpec) T {
+	res, err := session.Run(context.Background(), spec)
+	if err != nil {
+		panic("acutemon: " + spec.Method + ": " + err.Error())
+	}
+	return res.Raw.(T)
+}
+
+// probeName maps a core probe constant onto the canonical spec name.
+func probeName(p core.ProbeType) string { return p.String() }
+
 // Measure runs AcuteMon on the testbed and drives the simulation until
 // the run completes.
-func Measure(tb *Testbed, cfg Config) *Result { return core.New(tb, cfg).Run() }
+//
+// Deprecated: use Run with SessionSpec{Backend: "sim", Method:
+// "acutemon", Testbed: tb} — one pipeline, context cancellation, and a
+// per-probe observation stream. Measure remains a thin wrapper over it.
+func Measure(tb *Testbed, cfg Config) *Result {
+	var zero Config
+	if cfg.Target != zero.Target || cfg.TargetPort != 0 ||
+		cfg.WarmupTarget != zero.WarmupTarget || cfg.WarmupTargetPort != 0 {
+		// The spec deliberately does not expose the testbed's internal
+		// addressing, so runs that override the Target*/WarmupTarget*
+		// fields keep the historic direct path rather than silently
+		// probing the default server.
+		return core.New(tb, cfg).Run()
+	}
+	return mustSim[*Result](SessionSpec{
+		Backend: "sim", Method: "acutemon", Testbed: tb,
+		K: cfg.K, Probe: probeName(cfg.Probe),
+		WarmupDelay: cfg.WarmupDelay, BackgroundInterval: cfg.BackgroundInterval,
+		BackgroundTTL: int(cfg.BackgroundTTL), NoBackground: cfg.NoBackground,
+		Timeout: cfg.ProbeTimeout,
+	})
+}
 
 // Calibrate infers the phone's Tis and Tip (the paper's future-work
 // training procedure) from sniffer and user-level observations only.
@@ -102,8 +208,15 @@ func Calibrate(tb *Testbed, opts CalibrateOptions) Calibration { return core.Cal
 
 // MeasureCalibrated calibrates, then measures with the recommended
 // dpre/db.
+//
+// Deprecated: call Calibrate, then Run with the recommended
+// WarmupDelay/BackgroundInterval in the SessionSpec (which is exactly
+// what this wrapper does).
 func MeasureCalibrated(tb *Testbed, cfg Config, opts CalibrateOptions) (*Result, Calibration) {
-	return core.RunCalibrated(tb, cfg, opts)
+	cal := core.Calibrate(tb, opts)
+	cfg.WarmupDelay = cal.RecommendedWarmup
+	cfg.BackgroundInterval = cal.RecommendedInterval
+	return Measure(tb, cfg), cal
 }
 
 // Overheads extracts Δdu−k and Δdk−n samples for an AcuteMon result —
@@ -114,23 +227,43 @@ func Overheads(tb *Testbed, res *Result) (duk, dkn Sample) {
 
 // Ping runs stock ICMP ping on the testbed phone (§3.1), quirks
 // included.
+//
+// Deprecated: use Run with SessionSpec{Backend: "sim", Method: "ping",
+// Testbed: tb, K: count, Interval: interval}.
 func Ping(tb *Testbed, count int, interval time.Duration) *ToolResult {
-	return tools.Ping(tb, tools.PingOptions{Count: count, Interval: interval})
+	return mustSim[*ToolResult](SessionSpec{
+		Backend: "sim", Method: "ping", Testbed: tb, K: count, Interval: interval,
+	})
 }
 
 // HTTPing runs the cross-compiled httping comparison tool.
+//
+// Deprecated: use Run with SessionSpec{Backend: "sim", Method:
+// "httping", Testbed: tb, K: count, Interval: interval}.
 func HTTPing(tb *Testbed, count int, interval time.Duration) *ToolResult {
-	return tools.HTTPing(tb, tools.HTTPingOptions{Count: count, Interval: interval})
+	return mustSim[*ToolResult](SessionSpec{
+		Backend: "sim", Method: "httping", Testbed: tb, K: count, Interval: interval,
+	})
 }
 
 // JavaPing runs the MobiPerf-style Dalvik SYN/RST prober.
+//
+// Deprecated: use Run with SessionSpec{Backend: "sim", Method:
+// "javaping", Testbed: tb, K: count, Interval: interval}.
 func JavaPing(tb *Testbed, count int, interval time.Duration) *ToolResult {
-	return tools.JavaPing(tb, tools.JavaPingOptions{Count: count, Interval: interval})
+	return mustSim[*ToolResult](SessionSpec{
+		Backend: "sim", Method: "javaping", Testbed: tb, K: count, Interval: interval,
+	})
 }
 
 // Ping2 runs the server-side double-ping baseline of Sui et al.
+//
+// Deprecated: use Run with SessionSpec{Backend: "sim", Method:
+// "ping2", Testbed: tb, K: rounds, Interval: gap}.
 func Ping2(tb *Testbed, rounds int, gap time.Duration) *ToolResult {
-	return tools.Ping2(tb, tools.Ping2Options{Rounds: rounds, Gap: gap})
+	return mustSim[*ToolResult](SessionSpec{
+		Backend: "sim", Method: "ping2", Testbed: tb, K: rounds, Interval: gap,
+	})
 }
 
 // ToolLayerSamples extracts du/dk/dn samples for a tool run.
@@ -139,8 +272,31 @@ func ToolLayerSamples(tb *Testbed, res *ToolResult) (du, dk, dn Sample) {
 }
 
 // LiveMeasure runs the AcuteMon scheme over real sockets.
+//
+// Deprecated: use Run with SessionSpec{Backend: "live", Method:
+// "acutemon", Target: …} — same scheme, same cancellation contract,
+// plus the per-probe observation stream.
 func LiveMeasure(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
-	return live.Measure(ctx, cfg)
+	spec := SessionSpec{
+		Backend: "live", Method: "acutemon",
+		Target: cfg.Target, WarmupAddr: cfg.WarmupAddr,
+		Probe: cfg.Probe.String(), K: cfg.K,
+		WarmupDelay: cfg.WarmupDelay, BackgroundInterval: cfg.BackgroundInterval,
+		BackgroundTTL: cfg.BackgroundTTL, NoBackground: cfg.NoBackground,
+		Timeout: cfg.ProbeTimeout,
+	}
+	if cfg.OnProbe != nil {
+		// The hook rides the pipeline's observation stream (the method
+		// installs its own live.Config.OnProbe to feed the Sink).
+		spec.Sink = SessionSinkFunc(func(o SessionObservation) {
+			cfg.OnProbe(live.ProbeRecord{Seq: o.Seq, RTT: o.RTT, Err: o.Err})
+		})
+	}
+	res, err := session.Run(ctx, spec)
+	if res == nil || res.Raw == nil {
+		return nil, err
+	}
+	return res.Raw.(*LiveResult), err
 }
 
 // StartLiveServers starts the loopback-testable live measurement target

@@ -8,6 +8,7 @@ package acutemon
 // cmd/acutemon-bench.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -260,5 +261,37 @@ func BenchmarkAcuteMonRun(b *testing.B) {
 		if len(res.Sample()) < 90 {
 			b.Fatalf("completed %d/100", len(res.Sample()))
 		}
+	}
+}
+
+// BenchmarkSessionRun measures the unified pipeline end to end on the
+// sim backend — testbed build, settle, method run, observation stream,
+// layer extraction — for the two methods fleet campaigns lean on
+// hardest. The per-method ms/session metric is the session-throughput
+// number the perf trajectory tracks.
+func BenchmarkSessionRun(b *testing.B) {
+	for _, method := range []string{"acutemon", "ping"} {
+		method := method
+		b.Run(method, func(b *testing.B) {
+			var streamed int
+			for i := 0; i < b.N; i++ {
+				streamed = 0
+				res, err := Run(context.Background(), SessionSpec{
+					Backend:  "sim",
+					Method:   method,
+					K:        100,
+					Interval: 100 * time.Millisecond,
+					Seed:     int64(i + 1),
+					Sink:     SessionSinkFunc(func(SessionObservation) { streamed++ }),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Sent != 100 || streamed != len(res.Records) {
+					b.Fatalf("sent=%d streamed=%d records=%d", res.Sent, streamed, len(res.Records))
+				}
+			}
+			b.ReportMetric(float64(streamed), "probes/session")
+		})
 	}
 }

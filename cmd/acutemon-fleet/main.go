@@ -31,7 +31,10 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "device-mix", "campaign preset (see -list)")
-	list := flag.Bool("list", false, "list scenario presets and exit")
+	list := flag.Bool("list", false, "list scenario presets, backends, and methods, then exit")
+	backend := flag.String("backend", "", "override every session's backend: sim|cellular (scenario default when empty)")
+	method := flag.String("method", "", "override every session's method: acutemon|ping|httping|javaping|ping2 (scenario default when empty)")
+	radio := flag.String("radio", "", "cellular RRC model with -backend cellular: umts|lte")
 	sessions := flag.Int("sessions", 1000, "number of measurement sessions")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	probes := flag.Int("probes", 100, "probes per session (K)")
@@ -53,7 +56,18 @@ func main() {
 	if *list {
 		fmt.Println("campaign scenarios:")
 		for _, sc := range acutemon.CampaignScenarios() {
-			fmt.Printf("  %-14s %s\n", sc.Name, sc.Description)
+			fmt.Printf("  %-16s %s\n", sc.Name, sc.Description)
+		}
+		fmt.Println("backends (-backend):")
+		for _, b := range acutemon.Backends() {
+			if b.Name() == "live" {
+				continue // campaigns are simulation-scale
+			}
+			fmt.Printf("  %-16s %s\n", b.Name(), b.Description())
+		}
+		fmt.Println("methods (-method):")
+		for _, m := range acutemon.Methods() {
+			fmt.Printf("  %-16s %s\n", m.Name(), m.Description())
 		}
 		return
 	}
@@ -82,6 +96,52 @@ func main() {
 			Probes:   *probes,
 			BaseRTT:  *rtt,
 		}),
+	}
+	if *backend != "" || *method != "" || *radio != "" {
+		if *method != "" {
+			if _, ok := acutemon.MethodByName(*method); !ok {
+				fmt.Fprintf(os.Stderr, "unknown method %q; run with -list\n", *method)
+				os.Exit(2)
+			}
+		}
+		if *backend != "" {
+			if _, ok := acutemon.BackendByName(*backend); !ok || *backend == "live" {
+				fmt.Fprintf(os.Stderr, "campaign backend must be sim or cellular, got %q\n", *backend)
+				os.Exit(2)
+			}
+		}
+		if *radio != "" && *radio != "umts" && *radio != "lte" {
+			fmt.Fprintf(os.Stderr, "radio must be umts or lte, got %q\n", *radio)
+			os.Exit(2)
+		}
+		for i := range c.Sessions {
+			s := &c.Sessions[i]
+			if *backend != "" {
+				s.Backend = *backend
+			}
+			if *radio != "" {
+				s.Radio = *radio
+			}
+			if *method != "" {
+				s.Method = *method
+			}
+			// Annotate explicit scenario labels instead of clearing
+			// them, so parameterized sweeps (rtt=85ms, tip=120ms, …)
+			// keep their per-group resolution under an override; empty
+			// labels re-derive with backend/method suffixes anyway.
+			if s.Label != "" {
+				if *backend == "cellular" {
+					radioName := s.Radio
+					if radioName == "" {
+						radioName = "umts"
+					}
+					s.Label += "/cellular-" + radioName
+				}
+				if *method != "" {
+					s.Label += "/" + *method
+				}
+			}
+		}
 	}
 
 	if *registryPath != "" || *calibrate {

@@ -1,22 +1,28 @@
-// Command acutemon-live runs the AcuteMon probing scheme over real
-// sockets: `serve` starts the measurement target, `measure` probes it.
+// Command acutemon-live runs measurement sessions over real sockets:
+// `serve` starts the measurement target, `measure` probes it through
+// the unified Session API.
 //
 // Usage:
 //
 //	acutemon-live serve  [-addr 0.0.0.0:8807]
-//	acutemon-live measure -target host:port [-probe tcp|http|udp] [-k 20]
-//	                      [-dpre 20ms] [-db 20ms] [-no-bg] [-ttl 1]
+//	acutemon-live measure -target host:port [-method acutemon|ping|httping|javaping|ping2]
+//	                      [-probe tcp|http|udp] [-k 20] [-interval 1s]
+//	                      [-dpre 20ms] [-db 20ms] [-no-bg] [-ttl 1] [-timeout 2s]
+//
+// The -backend/-method vocabulary matches acutemon and acutemon-fleet;
+// here -backend defaults to (and is validated as) "live".
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"time"
 
-	"repro/internal/live"
+	acutemon "repro"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -45,7 +51,7 @@ func serve(args []string) {
 	addr := fs.String("addr", "0.0.0.0:8807", "listen address (TCP + UDP)")
 	fs.Parse(args)
 
-	srv, err := live.StartServers(*addr)
+	srv, err := acutemon.StartLiveServers(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -61,56 +67,61 @@ func serve(args []string) {
 
 func measure(args []string) {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	backend := fs.String("backend", "live", `session backend (this command drives "live")`)
+	method := fs.String("method", "acutemon", "probing method: acutemon|ping|httping|javaping|ping2")
 	target := fs.String("target", "", "measurement server host:port (required)")
-	probe := fs.String("probe", "tcp", "probe type: tcp|http|udp")
+	probe := fs.String("probe", "", "probe mechanism: tcp|http|udp (method default when empty)")
 	k := fs.Int("k", 20, "probe count")
-	dpre := fs.Duration("dpre", 20*time.Millisecond, "warm-up delay")
-	db := fs.Duration("db", 20*time.Millisecond, "background interval")
+	interval := fs.Duration("interval", time.Second, "probe interval (comparison tools)")
+	dpre := fs.Duration("dpre", 20*time.Millisecond, "warm-up delay (acutemon)")
+	db := fs.Duration("db", 20*time.Millisecond, "background interval (acutemon)")
 	noBG := fs.Bool("no-bg", false, "disable background traffic")
 	ttl := fs.Int("ttl", 1, "background packet TTL")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-probe timeout")
 	fs.Parse(args)
 
-	if *target == "" {
-		fmt.Fprintln(os.Stderr, "-target required")
+	if *backend != "live" {
+		fmt.Fprintf(os.Stderr, "acutemon-live drives the live backend; use the acutemon command for %q\n", *backend)
 		os.Exit(2)
 	}
-	var pt live.ProbeType
-	switch *probe {
-	case "tcp":
-		pt = live.ProbeTCPConnect
-	case "http":
-		pt = live.ProbeHTTPGet
-	case "udp":
-		pt = live.ProbeUDPEcho
-	default:
-		fmt.Fprintf(os.Stderr, "unknown probe %q\n", *probe)
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "-target required")
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := live.Measure(ctx, live.Config{
+	res, err := acutemon.Run(ctx, acutemon.SessionSpec{
+		Backend:            *backend,
+		Method:             *method,
 		Target:             *target,
-		Probe:              pt,
+		Probe:              *probe,
 		K:                  *k,
+		Interval:           *interval,
 		WarmupDelay:        *dpre,
 		BackgroundInterval: *db,
 		BackgroundTTL:      *ttl,
-		ProbeTimeout:       *timeout,
 		NoBackground:       *noBG,
+		Timeout:            *timeout,
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "interrupted before any probe")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: partial session")
+	}
 	s := res.Sample()
 	if len(s) == 0 {
-		fmt.Printf("no probes completed (%d lost)\n", res.Lost())
+		fmt.Printf("no probes completed (%d lost)\n", res.Lost)
 		os.Exit(1)
 	}
 	fmt.Printf("probes: %d ok, %d lost; background packets: %d (ttl-limited: %v)\n",
-		len(s), res.Lost(), res.BackgroundSent, res.TTLLimited)
+		len(s), res.Lost, res.BackgroundSent, res.TTLLimited)
 	fmt.Printf("RTT: %s\n", s.Summarize())
-	fmt.Print(report.RenderCDF(*probe+" probe", stats.NewECDF(s), 48))
+	fmt.Print(report.RenderCDF(*method+" probes", stats.NewECDF(s), 48))
 }

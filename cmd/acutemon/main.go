@@ -1,108 +1,158 @@
-// Command acutemon runs one measurement on the simulated testbed and
-// prints the resulting RTT distribution and per-layer overheads.
+// Command acutemon runs one measurement session through the unified
+// Session API and prints the resulting RTT distribution and (on the
+// sim backend) per-layer overheads.
 //
 // Usage:
 //
-//	acutemon [-phone "Google Nexus 5"] [-rtt 30ms] [-tool acutemon|ping|httping|javaping|ping2]
-//	         [-count 100] [-interval 1s] [-cross] [-seed 1] [-calibrate]
+//	acutemon [-backend sim|cellular] [-method acutemon|ping|httping|javaping|ping2]
+//	         [-phone "Google Nexus 5"] [-rtt 30ms] [-count 100] [-interval 1s]
+//	         [-probe tcp|http|udp|icmp] [-radio umts|lte] [-cross] [-seed 1]
+//	         [-calibrate] [-pcap out.pcap]
+//	acutemon -list
+//
+// The -backend/-method pair is the same vocabulary acutemon-live and
+// acutemon-fleet speak; -tool is kept as a deprecated alias of -method.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/android"
-	"repro/internal/core"
+	acutemon "repro"
 	"repro/internal/report"
 	"repro/internal/stats"
-	"repro/internal/testbed"
-	"repro/internal/tools"
 )
 
 func main() {
+	backend := flag.String("backend", "sim", "session backend (see -list)")
+	method := flag.String("method", "acutemon", "probing method (see -list)")
+	tool := flag.String("tool", "", "deprecated alias of -method")
+	list := flag.Bool("list", false, "list registered backends and methods, then exit")
 	phone := flag.String("phone", "Google Nexus 5", "phone model (see Table 1)")
-	rtt := flag.Duration("rtt", 30*time.Millisecond, "emulated path RTT")
-	tool := flag.String("tool", "acutemon", "measurement tool: acutemon|ping|httping|javaping|ping2")
+	rtt := flag.Duration("rtt", 30*time.Millisecond, "emulated path RTT (operator-core RTT on cellular)")
 	count := flag.Int("count", 100, "probe count")
 	interval := flag.Duration("interval", time.Second, "probe interval (comparison tools)")
-	cross := flag.Bool("cross", false, "enable iPerf cross traffic (§4.3)")
+	probe := flag.String("probe", "", "probe mechanism: tcp|http|udp|icmp (method default when empty)")
+	radio := flag.String("radio", "umts", "cellular RRC model: umts|lte")
+	cross := flag.Bool("cross", false, "enable iPerf cross traffic (§4.3, sim only)")
 	seed := flag.Int64("seed", 1, "random seed")
-	calibrate := flag.Bool("calibrate", false, "calibrate Tis/Tip first and use the recommended dpre/db")
-	pcapPath := flag.String("pcap", "", "write sniffer A's capture to this .pcap file")
+	calibrate := flag.Bool("calibrate", false, "calibrate Tis/Tip first and use the recommended dpre/db (sim acutemon)")
+	pcapPath := flag.String("pcap", "", "write sniffer A's capture to this .pcap file (sim only)")
 	flag.Parse()
 
-	prof, ok := android.ProfileByName(*phone)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown phone %q; options:\n", *phone)
-		for _, p := range android.Profiles() {
-			fmt.Fprintf(os.Stderr, "  %s\n", p.Model)
+	if *list {
+		fmt.Println("backends:")
+		for _, b := range acutemon.Backends() {
+			fmt.Printf("  %-10s %s\n", b.Name(), b.Description())
 		}
+		fmt.Println("methods:")
+		for _, m := range acutemon.Methods() {
+			fmt.Printf("  %-10s %s\n", m.Name(), m.Description())
+		}
+		return
+	}
+	if *tool != "" {
+		methodSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "method" {
+				methodSet = true
+			}
+		})
+		if methodSet && *method != *tool {
+			fmt.Fprintf(os.Stderr, "-tool is a deprecated alias of -method; got both (-method %s, -tool %s)\n", *method, *tool)
+			os.Exit(2)
+		}
+		*method = *tool
+	}
+	if *pcapPath != "" && *backend != "sim" {
+		fmt.Fprintln(os.Stderr, "-pcap needs the sim backend (no sniffers elsewhere)")
 		os.Exit(2)
 	}
 
-	cfg := testbed.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Phone = prof
-	cfg.EmulatedRTT = *rtt
-	tb := testbed.New(cfg)
-	if *cross {
-		tb.StartCrossTraffic()
+	spec := acutemon.SessionSpec{
+		Backend:      *backend,
+		Method:       *method,
+		K:            *count,
+		Interval:     *interval,
+		Probe:        *probe,
+		Phone:        *phone,
+		Seed:         *seed,
+		EmulatedRTT:  *rtt,
+		CrossTraffic: *cross,
+		Radio:        *radio,
 	}
-	tb.Sim.RunUntil(300 * time.Millisecond) // let the idle phone settle
 
-	fmt.Printf("testbed: %s, emulated RTT %v, cross traffic %v\n", prof.Model, *rtt, *cross)
+	// On the sim backend the rig is built here so calibration, the
+	// layer report, and -pcap all see the same capture; the spec then
+	// carries it into Run.
+	var tb *acutemon.Testbed
+	if *backend == "sim" {
+		prof, ok := acutemon.ProfileByName(*phone)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown phone %q; options:\n", *phone)
+			for _, p := range acutemon.Profiles() {
+				fmt.Fprintf(os.Stderr, "  %s\n", p.Model)
+			}
+			os.Exit(2)
+		}
+		cfg := acutemon.DefaultTestbedConfig()
+		cfg.Seed = *seed
+		cfg.Phone = prof
+		cfg.EmulatedRTT = *rtt
+		tb = acutemon.NewTestbed(cfg)
+		if *cross {
+			tb.StartCrossTraffic()
+		}
+		tb.Sim.RunUntil(300 * time.Millisecond) // let the idle phone settle
+		spec.Testbed = tb
+		fmt.Printf("testbed: %s, emulated RTT %v, cross traffic %v\n", prof.Model, *rtt, *cross)
 
-	var sample stats.Sample
-	var layered *tools.Result
-	switch *tool {
-	case "acutemon":
-		amCfg := core.Config{K: *count}
-		if *calibrate {
-			res, cal := core.RunCalibrated(tb, amCfg, core.CalibrateOptions{})
+		if *calibrate && *method == "acutemon" {
+			cal := acutemon.Calibrate(tb, acutemon.CalibrateOptions{})
 			fmt.Printf("calibration: Tip≈%v Tis≈%v → dpre=db=%v\n",
 				cal.Tip.Round(time.Millisecond), cal.Tis, cal.RecommendedInterval)
-			sample = res.Sample()
-			layered = &res.Result
-			fmt.Printf("background packets sent: %d (all dropped at the gateway)\n", res.BackgroundSent)
-		} else {
-			res := core.New(tb, amCfg).Run()
-			sample = res.Sample()
-			layered = &res.Result
-			fmt.Printf("background packets sent: %d (all dropped at the gateway)\n", res.BackgroundSent)
+			spec.WarmupDelay = cal.RecommendedWarmup
+			spec.BackgroundInterval = cal.RecommendedInterval
 		}
-	case "ping":
-		res := tools.Ping(tb, tools.PingOptions{Count: *count, Interval: *interval})
-		sample, layered = res.Sample(), res
-	case "httping":
-		res := tools.HTTPing(tb, tools.HTTPingOptions{Count: *count, Interval: *interval})
-		sample, layered = res.Sample(), res
-	case "javaping":
-		res := tools.JavaPing(tb, tools.JavaPingOptions{Count: *count, Interval: *interval})
-		sample, layered = res.Sample(), res
-	case "ping2":
-		res := tools.Ping2(tb, tools.Ping2Options{Rounds: *count, Gap: *interval})
-		sample, layered = res.Sample(), res
-	default:
-		fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
-		os.Exit(2)
+	} else {
+		fmt.Printf("backend: %s (radio %s), core RTT %v\n", *backend, *radio, *rtt)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := acutemon.Run(ctx, spec)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: partial session")
+		if res == nil {
+			os.Exit(1)
+		}
+	}
+
+	sample := res.Sample()
 	if len(sample) == 0 {
 		fmt.Println("no probes completed")
 		os.Exit(1)
 	}
-	fmt.Printf("\n%s RTTs: %s\n", *tool, sample.Summarize())
-	fmt.Println(report.RenderCDF(*tool, stats.NewECDF(sample), 48))
+	if res.BackgroundSent > 0 {
+		fmt.Printf("background packets sent: %d (all dropped at the gateway)\n", res.BackgroundSent)
+	}
+	fmt.Printf("\n%s RTTs: %s\n", *method, sample.Summarize())
+	fmt.Println(report.RenderCDF(*method, stats.NewECDF(sample), 48))
 
-	du, dk, dn := tools.LayerSamples(tb, *layered)
-	if len(dn) > 0 {
+	if l := res.Analyze().Layers; l != nil && len(l.Dn) > 0 {
 		fmt.Printf("per-layer means: du=%.2fms dk=%.2fms dn=%.2fms\n",
-			stats.Millis(du.Mean()), stats.Millis(dk.Mean()), stats.Millis(dn.Mean()))
-		duk, dkn := tools.Overheads(tb, *layered)
+			stats.Millis(l.Du.Mean()), stats.Millis(l.Dk.Mean()), stats.Millis(l.Dn.Mean()))
 		fmt.Printf("overheads: Δdu−k median=%.2fms, Δdk−n median=%.2fms (paper target: sum < 3ms under AcuteMon)\n",
-			stats.Millis(duk.Median()), stats.Millis(dkn.Median()))
+			stats.Millis(l.DuK.Median()), stats.Millis(l.DkN.Median()))
 	}
 
 	if *pcapPath != "" {

@@ -36,6 +36,6 @@ func main() {
 		fmt.Printf("%-12s median=%8v  p90=%8v  lost=%d  bg=%d (ttl-limited=%v)\n",
 			probe, s.Median().Round(time.Microsecond),
 			s.Percentile(90).Round(time.Microsecond),
-			res.Lost(), res.BackgroundSent, res.TTLLimited)
+			res.Lost, res.BackgroundSent, res.TTLLimited)
 	}
 }

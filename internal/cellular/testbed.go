@@ -1,6 +1,7 @@
 package cellular
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/kernel"
@@ -79,11 +80,22 @@ func (tb *Testbed) ServerIP() packet.IPv4Addr { return tb.serverIP }
 // PingResult is one cellular ping campaign.
 type PingResult struct {
 	RTTs stats.Sample
+	Sent int
 	Lost int
 }
 
 // Ping sends count ICMP probes at the given interval and collects RTTs.
 func (tb *Testbed) Ping(count int, interval time.Duration) PingResult {
+	res, _ := tb.PingContext(context.Background(), count, interval, nil)
+	return res
+}
+
+// PingContext is Ping under cooperative cancellation. onProbe (may be
+// nil) observes every probe: completed probes as their replies arrive
+// in virtual time, lost probes once the run drains. A cancelled context
+// returns the partial result alongside ctx's error; unresolved probes
+// are then neither ok nor lost.
+func (tb *Testbed) PingContext(ctx context.Context, count int, interval time.Duration, onProbe func(seq int, rtt time.Duration, ok bool)) (PingResult, error) {
 	var res PingResult
 	const id = 0xCE11
 	recv := make([]bool, count)
@@ -93,28 +105,39 @@ func (tb *Testbed) Ping(count int, interval time.Duration) PingResult {
 		if i < count && !recv[i] {
 			recv[i] = true
 			res.RTTs = append(res.RTTs, at-sent[i])
+			if onProbe != nil {
+				onProbe(i, at-sent[i], true)
+			}
 		}
 	})
 	for i := 0; i < count; i++ {
 		i := i
 		tb.Sim.Schedule(time.Duration(i)*interval, func() {
 			sent[i] = tb.Sim.Now()
+			res.Sent++
 			tb.Phone.SendEcho(tb.serverIP, id, uint16(i), 56)
 		})
 	}
-	tb.Sim.RunFor(time.Duration(count)*interval + 10*time.Second)
+	err := tb.Sim.RunUntilCtx(ctx, tb.Sim.Now()+time.Duration(count)*interval+10*time.Second)
 	tb.Phone.CloseICMP(id)
-	for _, ok := range recv {
+	if err != nil {
+		return res, err
+	}
+	for i, ok := range recv {
 		if !ok {
 			res.Lost++
+			if onProbe != nil {
+				onProbe(i, 0, false)
+			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // AcuteMonResult is a cellular AcuteMon run.
 type AcuteMonResult struct {
 	RTTs           stats.Sample
+	Sent           int
 	BackgroundSent int
 	Lost           int
 }
@@ -124,9 +147,34 @@ type AcuteMonResult struct {
 // there (db needs only to undercut T1, so the background rate can be
 // far lower than WiFi's 20 ms); K stop-and-wait UDP probes measure.
 func (tb *Testbed) RunAcuteMon(k int, dpre, db time.Duration, probeTimeout time.Duration) AcuteMonResult {
+	res, _ := tb.RunAcuteMonContext(context.Background(), k, dpre, db, probeTimeout, AcuteMonHooks{})
+	return res
+}
+
+// AcuteMonHooks carries the optional knobs of a cellular AcuteMon run.
+type AcuteMonHooks struct {
+	// OnProbe observes every probe (completed and timed-out, in probe
+	// order — the scheme is stop-and-wait).
+	OnProbe func(seq int, rtt time.Duration, ok bool)
+	// NoBackground suppresses the warm-up packet and the background
+	// stream entirely (the A/B ablation arm): probes then pay RRC
+	// promotions exactly as a naive tool would.
+	NoBackground bool
+	// BackgroundTTL overrides the TTL on warm-up/background packets
+	// (0 → 1; they die in the operator core either way).
+	BackgroundTTL byte
+}
+
+// RunAcuteMonContext is RunAcuteMon under cooperative cancellation,
+// with per-run hooks.
+func (tb *Testbed) RunAcuteMonContext(ctx context.Context, k int, dpre, db time.Duration, probeTimeout time.Duration, hooks AcuteMonHooks) (AcuteMonResult, error) {
 	if probeTimeout <= 0 {
 		probeTimeout = 5 * time.Second
 	}
+	if hooks.BackgroundTTL == 0 {
+		hooks.BackgroundTTL = 1
+	}
+	onProbe := hooks.OnProbe
 	var res AcuteMonResult
 	bg, err := tb.Phone.OpenUDP(0)
 	if err != nil {
@@ -136,19 +184,21 @@ func (tb *Testbed) RunAcuteMon(k int, dpre, db time.Duration, probeTimeout time.
 	// Warm-up: TTL=1 packets die at the operator gateway in real life;
 	// here the core network simply has no host at the warm-up address.
 	warmupIP := packet.IP(10, 20, 0, 1)
-	bg.SendTo(warmupIP, 9, []byte{0xAC}, 1)
+	if !hooks.NoBackground {
+		bg.SendTo(warmupIP, 9, []byte{0xAC}, hooks.BackgroundTTL)
+	}
 
 	stop := false
 	var bgLoop func()
 	bgLoop = func() {
-		if stop {
+		if stop || hooks.NoBackground {
 			return
 		}
 		tb.Sim.Schedule(db, func() {
 			if stop {
 				return
 			}
-			bg.SendTo(warmupIP, 9, []byte{0xAC}, 1)
+			bg.SendTo(warmupIP, 9, []byte{0xAC}, hooks.BackgroundTTL)
 			res.BackgroundSent++
 			bgLoop()
 		})
@@ -171,6 +221,9 @@ func (tb *Testbed) RunAcuteMon(k int, dpre, db time.Duration, probeTimeout time.
 		res.RTTs = append(res.RTTs, at-sentAt)
 		i := waiting
 		waiting = -1
+		if onProbe != nil {
+			onProbe(i, at-sentAt, true)
+		}
 		probe(i + 1)
 	})
 	probe = func(i int) {
@@ -181,12 +234,16 @@ func (tb *Testbed) RunAcuteMon(k int, dpre, db time.Duration, probeTimeout time.
 		}
 		sentAt = tb.Sim.Now()
 		waiting = i
+		res.Sent++
 		probeSock.SendTo(tb.serverIP, 7, []byte{byte(i)}, 0)
 		deadline := i
 		tb.Sim.Schedule(probeTimeout, func() {
 			if waiting == deadline {
 				waiting = -1
 				res.Lost++
+				if onProbe != nil {
+					onProbe(deadline, 0, false)
+				}
 				probe(deadline + 1)
 			}
 		})
@@ -206,11 +263,7 @@ func (tb *Testbed) RunAcuteMon(k int, dpre, db time.Duration, probeTimeout time.
 		probe(0)
 	})
 	limit := tb.Sim.Now() + dpre + time.Duration(k+2)*probeTimeout + 10*time.Second
-	for !done && tb.Sim.Now() < limit {
-		if !tb.Sim.Step() {
-			break
-		}
-	}
+	err = tb.Sim.StepUntilCtx(ctx, limit, func() bool { return done })
 	stop = true
-	return res
+	return res, err
 }

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/android"
@@ -151,18 +152,23 @@ func (m *Monitor) Config() Config { return m.cfg }
 // Run executes one AcuteMon measurement and drives the simulation until
 // it completes.
 func (m *Monitor) Run() *Result {
+	res, _ := m.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run under cooperative cancellation: the event loop is
+// stepped with periodic ctx checks, and a cancelled context returns the
+// partial Result alongside ctx's error. With a background context it
+// steps the exact event sequence Run always has.
+func (m *Monitor) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Result: tools.Result{Tool: "acutemon", Records: make([]tools.ProbeRecord, m.cfg.K)}}
 	done := false
 	m.start(res, func() { done = true })
 	// Upper bound: warm-up + K × (timeout) + slack.
 	limit := m.cfg.WarmupDelay + time.Duration(m.cfg.K)*m.cfg.ProbeTimeout + 5*time.Second
 	deadline := m.tb.Sim.Now() + limit
-	for !done && m.tb.Sim.Now() < deadline {
-		if !m.tb.Sim.Step() {
-			break
-		}
-	}
-	return res
+	err := m.tb.Sim.StepUntilCtx(ctx, deadline, func() bool { return done })
+	return res, err
 }
 
 // start launches BT + MT; onDone fires when the MT completes and the BT
@@ -311,7 +317,9 @@ func (m *Monitor) runProbes(res *Result, i int, finish func()) {
 	})
 }
 
-// OverheadStats extracts the Fig 7 quantities for an AcuteMon run.
+// OverheadStats extracts the Fig 7 quantities for an AcuteMon run via
+// the shared tools.ExtractLayers capture walk.
 func OverheadStats(tb *testbed.Testbed, res *Result) (duk, dkn stats.Sample) {
-	return tools.Overheads(tb, res.Result)
+	l := tools.ExtractLayers(tb, res.Records)
+	return l.DuK, l.DkN
 }

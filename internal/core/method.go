@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/live"
+	"repro/internal/session"
+	"repro/internal/testbed"
+	"repro/internal/tools"
+)
+
+func init() {
+	session.RegisterMethod(acutemonMethod{})
+}
+
+// acutemonMethod is the paper's contribution as a session.Method: the
+// warm-up / background-traffic / stop-and-wait probing scheme, runnable
+// on every backend — the simulated Fig 2 rig, real sockets, and the
+// cellular RRC testbed (§4's "easily extended to cellular" claim).
+type acutemonMethod struct{}
+
+func (acutemonMethod) Name() string { return "acutemon" }
+func (acutemonMethod) Description() string {
+	return "AcuteMon: warm-up + TTL-limited background traffic + K stop-and-wait native probes (§4)"
+}
+
+func (acutemonMethod) Run(ctx context.Context, env session.Env, spec session.Spec) (*session.Result, error) {
+	switch e := env.(type) {
+	case *session.SimEnv:
+		return runSimAcutemon(ctx, e.TB, spec)
+	case *session.LiveEnv:
+		return runLiveAcutemon(ctx, e, spec)
+	case *session.CellularEnv:
+		return runCellularAcutemon(ctx, e, spec)
+	default:
+		return nil, fmt.Errorf("%w: acutemon on %s", session.ErrUnsupported, env.BackendName())
+	}
+}
+
+// simProbeType maps a canonical probe name onto the simulated MT's
+// mechanisms.
+func simProbeType(probe string) (ProbeType, error) {
+	switch probe {
+	case "", session.ProbeTCP:
+		return ProbeTCPSyn, nil
+	case session.ProbeHTTP:
+		return ProbeHTTPGet, nil
+	case session.ProbeUDP:
+		return ProbeUDPEcho, nil
+	case session.ProbeICMP:
+		return ProbeICMPEcho, nil
+	default:
+		return 0, fmt.Errorf("acutemon: unknown probe %q", probe)
+	}
+}
+
+func runSimAcutemon(ctx context.Context, tb *testbed.Testbed, spec session.Spec) (*session.Result, error) {
+	probe, err := simProbeType(spec.Probe)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		K:                  spec.K,
+		Probe:              probe,
+		WarmupDelay:        spec.WarmupDelay,
+		BackgroundInterval: spec.BackgroundInterval,
+		BackgroundTTL:      byte(spec.BackgroundTTL),
+		NoBackground:       spec.NoBackground,
+		ProbeTimeout:       spec.Timeout,
+	}
+	res, runErr := New(tb, cfg).RunContext(ctx)
+	// Stop-and-wait: every probe before the last launched one resolved
+	// (reply or timeout) before the next began.
+	resolved := res.Sent - 1
+	if resolved < 0 {
+		resolved = 0
+	}
+	out := tools.FinishSim(tb, &res.Result, runErr != nil, resolved, spec.Sink)
+	out.BackgroundSent = res.BackgroundSent
+	out.Raw = res
+	return out, runErr
+}
+
+// liveProbeType maps a canonical probe name onto the live probers.
+func liveProbeType(probe string) (live.ProbeType, error) {
+	switch probe {
+	case "", session.ProbeTCP:
+		return live.ProbeTCPConnect, nil
+	case session.ProbeHTTP:
+		return live.ProbeHTTPGet, nil
+	case session.ProbeUDP:
+		return live.ProbeUDPEcho, nil
+	case session.ProbeICMP:
+		return 0, fmt.Errorf("%w: icmp probes need raw sockets the live backend does not assume", session.ErrUnsupported)
+	default:
+		return 0, fmt.Errorf("live: unknown probe %q", probe)
+	}
+}
+
+func runLiveAcutemon(ctx context.Context, e *session.LiveEnv, spec session.Spec) (*session.Result, error) {
+	probe, err := liveProbeType(spec.Probe)
+	if err != nil {
+		return nil, err
+	}
+	out := &session.Result{}
+	start := time.Now()
+	cfg := live.Config{
+		Target:             e.Target,
+		Probe:              probe,
+		K:                  spec.K,
+		WarmupDelay:        spec.WarmupDelay,
+		BackgroundInterval: spec.BackgroundInterval,
+		WarmupAddr:         e.WarmupAddr,
+		BackgroundTTL:      spec.BackgroundTTL,
+		ProbeTimeout:       spec.Timeout,
+		NoBackground:       spec.NoBackground,
+		OnProbe: func(rec live.ProbeRecord) {
+			o := session.Observation{
+				Seq: rec.Seq, RTT: rec.RTT, OK: rec.Err == nil, Err: rec.Err,
+				At: time.Since(start),
+			}
+			out.Records = append(out.Records, o)
+			session.Emit(spec.Sink, o)
+		},
+	}
+	res, runErr := live.Measure(ctx, cfg)
+	if res == nil {
+		return nil, runErr
+	}
+	out.Sent, out.Lost = res.Sent, res.Lost
+	out.BackgroundSent = res.BackgroundSent
+	out.TTLLimited = res.TTLLimited
+	out.Raw = res
+	return out, runErr
+}
+
+func runCellularAcutemon(ctx context.Context, e *session.CellularEnv, spec session.Spec) (*session.Result, error) {
+	if spec.Probe != "" && spec.Probe != session.ProbeUDP {
+		return nil, fmt.Errorf("%w: cellular acutemon probes over UDP echo only", session.ErrUnsupported)
+	}
+	k := spec.K
+	if k <= 0 {
+		k = 100
+	}
+	dpre := spec.WarmupDelay
+	if dpre <= 0 {
+		dpre = 20 * time.Millisecond
+	}
+	db := spec.BackgroundInterval
+	if db <= 0 {
+		db = 20 * time.Millisecond
+	}
+	out := &session.Result{}
+	res, runErr := e.TB.RunAcuteMonContext(ctx, k, dpre, db, spec.Timeout, cellular.AcuteMonHooks{
+		NoBackground:  spec.NoBackground,
+		BackgroundTTL: byte(spec.BackgroundTTL),
+		OnProbe: func(seq int, rtt time.Duration, ok bool) {
+			o := session.Observation{Seq: seq, RTT: rtt, OK: ok, At: e.TB.Sim.Now()}
+			out.Records = append(out.Records, o)
+			session.Emit(spec.Sink, o)
+		},
+	})
+	out.Sent, out.Lost = res.Sent, res.Lost
+	out.BackgroundSent = res.BackgroundSent
+	out.Raw = &res
+	return out, runErr
+}

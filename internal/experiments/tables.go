@@ -55,11 +55,11 @@ func Table2Run(opts Options) []Table2Cell {
 		sp := specs[i]
 		tb := newTB(opts.subSeed(int64(i+1)), sp.phone, sp.rtt, nil)
 		res := tools.Ping(tb, tools.PingOptions{Count: opts.probes(), Interval: sp.interval})
-		du, dk, dn := tools.LayerSamples(tb, *res)
-		duk, dkn := tools.Overheads(tb, *res)
+		// One capture walk yields every per-layer quantity at once.
+		l := tools.ExtractLayers(tb, res.Records)
 		return Table2Cell{
 			Phone: sp.phone, RTT: sp.rtt, Interval: sp.interval,
-			Du: du, Dk: dk, Dn: dn, DeltaUK: duk, DeltaKN: dkn,
+			Du: l.Du, Dk: l.Dk, Dn: l.Dn, DeltaUK: l.DuK, DeltaKN: l.DkN,
 		}
 	})
 }

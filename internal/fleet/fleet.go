@@ -33,31 +33,47 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/core"
-	"repro/internal/sniffer"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
-	"repro/internal/tools"
 )
 
-// Session specifies one simulated measurement session.
+// Session specifies one simulated measurement session. It is a thin
+// campaign-side view of a session.Spec: Run hands each one to the
+// unified Session API, so campaigns mix backends (sim, cellular) and
+// methods (acutemon, ping, httping, javaping, ping2) freely within one
+// report.
 type Session struct {
 	// ID is the session's index within the campaign; it keys the
 	// session's deterministic seed. Filled by Run when building from a
 	// scenario.
 	ID int
-	// Label is the aggregation group ("" defaults to the phone model).
+	// Label is the aggregation group ("" defaults to the phone model,
+	// suffixed with the method/backend when those are non-default).
 	Label string
+	// Backend selects the environment: "sim" (default) or "cellular".
+	// Campaigns are simulation-scale, so the live backend is excluded.
+	Backend string
+	// Method selects the probing scheme by registry name
+	// ("" → "acutemon").
+	Method string
 	// Phone is the device model (Table 1 name); "" defaults to the
 	// Nexus 5.
 	Phone string
 	// Seed overrides the derived per-session seed when non-zero.
 	Seed int64
-	// EmulatedRTT is the tc-style path delay (0 → 30 ms).
+	// EmulatedRTT is the tc-style path delay on sim, the operator-core
+	// RTT on cellular (0 → 30 ms).
 	EmulatedRTT time.Duration
 	// Probes is the per-session probe count K (0 → 100).
 	Probes int
 	// Probe selects the probe mechanism (default TCP SYN).
 	Probe core.ProbeType
+	// Interval paces the comparison tools' probes (0 → 1 s);
+	// acutemon's stop-and-wait MT ignores it.
+	Interval time.Duration
+	// Radio selects the cellular RRC model ("" → "umts").
+	Radio string
 	// Settle is how long the idle phone runs before measuring
 	// (0 → 300 ms), letting it doze as a real pocket phone would.
 	Settle time.Duration
@@ -73,20 +89,38 @@ type Session struct {
 }
 
 func (s *Session) fill(campaignSeed int64) {
+	if s.Backend == "" {
+		s.Backend = "sim"
+	}
+	if s.Method == "" {
+		s.Method = "acutemon"
+	}
+	if s.Backend == "cellular" && s.Radio == "" {
+		s.Radio = session.DefaultRadio
+	}
 	if s.Phone == "" {
-		s.Phone = "Google Nexus 5"
+		s.Phone = session.DefaultPhone
 	}
 	if s.Label == "" {
 		s.Label = s.Phone
+		if s.Backend == "cellular" {
+			s.Label += "/cellular-" + s.Radio
+		}
+		if s.Method != "acutemon" {
+			s.Label += "/" + s.Method
+		}
 	}
+	// Pinning the session-layer defaults here (rather than passing
+	// zeros through) keeps derived statistics — inflation divides by
+	// EmulatedRTT — tied to the values the simulation actually used.
 	if s.EmulatedRTT == 0 {
-		s.EmulatedRTT = 30 * time.Millisecond
+		s.EmulatedRTT = session.DefaultEmulatedRTT
 	}
 	if s.Probes <= 0 {
 		s.Probes = 100
 	}
 	if s.Settle <= 0 {
-		s.Settle = 300 * time.Millisecond
+		s.Settle = session.DefaultSettle
 	}
 	if s.Seed == 0 {
 		s.Seed = SeedFor(campaignSeed, s.ID)
@@ -158,8 +192,10 @@ type Campaign struct {
 	// OnSample, when set, observes every finished session together with
 	// its raw user-RTT sample before the sample is dropped — the hook the
 	// ingest load generator uses to put real per-probe observations on
-	// the wire. Serialized like OnSession; the callee must not retain the
-	// slice past the call.
+	// the wire. The sample is assembled from the session's per-probe
+	// observation stream (the Session API's Sink), so it is exactly what
+	// a streaming consumer would have seen. Serialized like OnSession;
+	// the callee must not retain the slice past the call.
 	OnSample func(SessionResult, stats.Sample)
 	// Context, when non-nil, cancels the campaign: dispatching stops at
 	// the next session boundary, in-flight sessions drain, and Run
@@ -330,42 +366,56 @@ func precalibrate(c *Campaign, sessions []Session, workers int) (models, errs []
 	return models, errs
 }
 
-// runSession builds the session's private testbed, runs AcuteMon, and
-// extracts the summary plus the raw user-RTT sample for folding.
+// runSession hands one campaign session to the unified Session API
+// (session.Run) and folds the canonical result back into the
+// campaign's summary shape. The raw user-RTT sample is assembled from
+// the session's per-probe observation stream (a session.Sink) — the
+// same stream the ingest load generator consumes via OnSample.
 func runSession(c *Campaign, s Session) (SessionResult, stats.Sample) {
 	out := SessionResult{Session: s}
 
-	prof, ok := android.ProfileByName(s.Phone)
-	if !ok {
-		out.Err = fmt.Errorf("fleet: unknown phone model %q", s.Phone)
-		return out, nil
+	spec := session.Spec{
+		Backend:         s.Backend,
+		Method:          s.Method,
+		K:               s.Probes,
+		Interval:        s.Interval,
+		Phone:           s.Phone,
+		Seed:            s.Seed,
+		EmulatedRTT:     s.EmulatedRTT,
+		Settle:          s.Settle,
+		CrossTraffic:    s.CrossTraffic,
+		DisablePSM:      s.DisablePSM,
+		DisableBusSleep: s.DisableBusSleep,
+		PSMTimeout:      s.PSMTimeout,
+		Radio:           s.Radio,
 	}
-	if s.PSMTimeout > 0 {
-		prof.PSMTimeout = s.PSMTimeout
+	if s.Method == "acutemon" && s.Probe != 0 {
+		// Probe selects acutemon's MT mechanism; the comparison tools
+		// each fix their own. The zero value stays "" so each backend
+		// keeps its own default (TCP SYN on sim, UDP echo on cellular).
+		spec.Probe = s.Probe.String()
 	}
-
-	cfg := testbed.DefaultConfig()
-	cfg.Seed = s.Seed
-	cfg.Phone = prof
-	cfg.EmulatedRTT = s.EmulatedRTT
-	cfg.DisablePSM = s.DisablePSM
-	cfg.DisableBusSleep = s.DisableBusSleep
-	tb := testbed.New(cfg)
-	if s.CrossTraffic {
-		tb.StartCrossTraffic()
-	}
-	tb.Sim.RunUntil(s.Settle)
-
-	amCfg := core.Config{K: s.Probes, Probe: s.Probe}
-	if c.Registry != nil {
-		if withCal, ok := c.Registry.ConfigFor(prof.Model, amCfg); ok {
-			amCfg = withCal
-			out.CalibratedConfig = true
+	if c.Registry != nil && s.Method == "acutemon" && s.Backend == "sim" {
+		if prof, ok := android.ProfileByName(s.Phone); ok {
+			if withCal, ok := c.Registry.ConfigFor(prof.Model, core.Config{}); ok {
+				spec.WarmupDelay = withCal.WarmupDelay
+				spec.BackgroundInterval = withCal.BackgroundInterval
+				out.CalibratedConfig = true
+			}
 		}
 	}
 
-	res := core.New(tb, amCfg).Run()
-	sample := res.Sample()
+	var sample stats.Sample
+	spec.Sink = session.SinkFunc(func(o session.Observation) {
+		if o.OK {
+			sample = append(sample, o.RTT)
+		}
+	})
+	res, err := session.Run(context.Background(), spec)
+	if err != nil {
+		out.Err = err
+		return out, nil
+	}
 	out.Summary = sample.Summarize()
 	out.Sent = res.Sent
 	out.Lost = res.Lost
@@ -373,15 +423,13 @@ func runSession(c *Campaign, s Session) (SessionResult, stats.Sample) {
 	if s.EmulatedRTT > 0 && len(sample) > 0 {
 		out.Inflation = float64(sample.Mean()) / float64(s.EmulatedRTT)
 	}
-
-	_, _, dn := tools.LayerSamples(tb, res.Result)
-	duk, dkn := core.OverheadStats(tb, res)
-	if len(dn) > 0 && len(duk) > 0 && len(dkn) > 0 {
+	res.Analyze() // campaigns always fold the per-layer attribution
+	if l := res.Layers; l != nil && len(l.Dn) > 0 && len(l.DuK) > 0 && len(l.DkN) > 0 {
 		out.LayersOK = true
-		out.UserOverhead = duk.Mean()
-		out.SDIOOverhead = dkn.Mean()
-		out.PSMInflation = dn.Mean() - s.EmulatedRTT
+		out.UserOverhead = l.DuK.Mean()
+		out.SDIOOverhead = l.DkN.Mean()
+		out.PSMInflation = l.Dn.Mean() - s.EmulatedRTT
 	}
-	out.PSMActive = sniffer.AnalyzeMerged(tb.MergedCapture()).PSMActive()
+	out.PSMActive = res.PSMActive
 	return out, sample
 }

@@ -271,3 +271,90 @@ func TestSeedForDecorrelatesAndIsStable(t *testing.T) {
 		t.Error("base seed ignored")
 	}
 }
+
+// TestToolMixCampaign is the acceptance test for mixed-method
+// campaigns: every probing scheme runs through the unified Session API
+// inside one report, and the paper's ordering survives — the
+// comparison tools (dozing between paced probes) inflate while
+// acutemon's background traffic holds the measurement near the path
+// RTT.
+func TestToolMixCampaign(t *testing.T) {
+	sc, ok := ScenarioByName("tool-mix")
+	if !ok {
+		t.Fatal("tool-mix scenario missing")
+	}
+	rep, err := Run(Campaign{
+		Name:     "mix",
+		Scenario: "tool-mix",
+		Seed:     11,
+		Workers:  2,
+		Sessions: sc.Build(Params{Sessions: 10, Seed: 11, Probes: 8}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"acutemon", "httping", "javaping", "ping", "ping2"}
+	if len(rep.Groups) != len(want) {
+		t.Fatalf("groups = %d (%v), want %d methods", len(rep.Groups), rep.Groups, len(want))
+	}
+	for i, g := range rep.Groups {
+		if g.Label != want[i] {
+			t.Fatalf("group %d = %q, want %q", i, g.Label, want[i])
+		}
+		if g.Errors > 0 {
+			t.Errorf("%s: %d session errors (%v)", g.Label, g.Errors, rep.FirstErrors)
+		}
+		if g.Du.N == 0 {
+			t.Errorf("%s aggregated no RTTs", g.Label)
+		}
+	}
+	am, ping := rep.Group("acutemon"), rep.Group("ping")
+	if am.Du.MeanDuration() > 45*time.Millisecond {
+		t.Errorf("acutemon mean du = %v, want ≈30ms (no inflation)", am.Du.MeanDuration())
+	}
+	if ping.Du.MeanDuration() < am.Du.MeanDuration() {
+		t.Errorf("ping mean %v < acutemon mean %v; dozing should inflate ping",
+			ping.Du.MeanDuration(), am.Du.MeanDuration())
+	}
+}
+
+// TestWifiVsCellularCampaign checks the cellular backend rides the same
+// campaign machinery: three environment groups in one report, no
+// session errors, and DCH-pinned cellular RTTs in a sane band.
+func TestWifiVsCellularCampaign(t *testing.T) {
+	sc, ok := ScenarioByName("wifi-vs-cellular")
+	if !ok {
+		t.Fatal("wifi-vs-cellular scenario missing")
+	}
+	rep, err := Run(Campaign{
+		Name:     "wvc",
+		Scenario: "wifi-vs-cellular",
+		Seed:     13,
+		Workers:  3,
+		Sessions: sc.Build(Params{Sessions: 9, Seed: 13, Probes: 6}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 3 {
+		t.Fatalf("groups = %d, want wifi + cellular-umts + cellular-lte", len(rep.Groups))
+	}
+	for _, g := range rep.Groups {
+		if g.Errors > 0 {
+			t.Errorf("%s: %d session errors (%v)", g.Label, g.Errors, rep.FirstErrors)
+		}
+		if g.Du.N == 0 {
+			t.Errorf("%s aggregated no RTTs", g.Label)
+		}
+	}
+	umts := rep.Group("cellular-umts")
+	if umts == nil {
+		t.Fatal("cellular-umts group missing")
+	}
+	// AcuteMon's background traffic pins the modem in DCH: per-probe
+	// RTT ≈ core RTT + 2×DCH latency (20-35 ms one way on UMTS), far
+	// below the seconds-scale IDLE promotion it would otherwise pay.
+	if mean := umts.Du.MeanDuration(); mean < 50*time.Millisecond || mean > 200*time.Millisecond {
+		t.Errorf("umts mean du = %v, want DCH-pinned ≈70-100ms", mean)
+	}
+}

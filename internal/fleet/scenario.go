@@ -141,6 +141,59 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name:        "tool-mix",
+			Description: "all five probing schemes over identical rigs in one report (§4.3 as one campaign)",
+			Build: func(p Params) []Session {
+				p.fill()
+				methods := []string{"acutemon", "ping", "httping", "javaping", "ping2"}
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					m := methods[i%len(methods)]
+					out[i] = Session{
+						Phone:       "Google Nexus 5",
+						Label:       m,
+						Method:      m,
+						EmulatedRTT: p.BaseRTT,
+						Probes:      p.Probes,
+						// 100 ms pacing keeps a five-tool campaign's
+						// virtual time manageable while still letting
+						// the phone doze between probes (Tip ≈ 40-75 ms
+						// across Table 1), so the inflation contrast
+						// against acutemon survives.
+						Interval: 100 * time.Millisecond,
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name:        "wifi-vs-cellular",
+			Description: "AcuteMon on the WiFi rig vs the UMTS and LTE RRC testbeds in one report",
+			Build: func(p Params) []Session {
+				p.fill()
+				out := make([]Session, p.Sessions)
+				for i := range out {
+					s := Session{
+						Phone:       "Google Nexus 5",
+						EmulatedRTT: p.BaseRTT,
+						Probes:      p.Probes,
+					}
+					switch i % 3 {
+					case 0:
+						s.Label = "wifi"
+					case 1:
+						s.Label = "cellular-umts"
+						s.Backend, s.Radio = "cellular", "umts"
+					default:
+						s.Label = "cellular-lte"
+						s.Backend, s.Radio = "cellular", "lte"
+					}
+					out[i] = s
+				}
+				return out
+			},
+		},
+		{
 			Name:        "rtt-sweep",
 			Description: "Table 5 emulated-path sweep (20/50/85/135 ms) across the device mix",
 			Build: func(p Params) []Session {

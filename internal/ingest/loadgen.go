@@ -16,7 +16,8 @@ import (
 // LoadGen streams session summaries to an ingest server over the real
 // wire protocol — the "million phones" half of the demo. It drives
 // either a live fleet campaign (StreamCampaign: every simulated session
-// is posted as it finishes) or a recorded campaign report
+// is posted as it finishes, its RTTs collected off the Session API's
+// per-probe observation stream) or a recorded campaign report
 // (ReplayReport: the -json artifact of cmd/acutemon-fleet, resampled
 // through the wire).
 type LoadGen struct {

@@ -1,0 +1,137 @@
+package live
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// liveGoroutines counts goroutines currently parked in this package's
+// measurement-side code (background thread, probers). The test target
+// servers (*Servers) stay running for the whole test and are excluded,
+// as is the test goroutine itself. Counting package-scoped frames
+// instead of the global goroutine count keeps the check immune to
+// test-runner noise.
+func liveGoroutines() int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	stacks := strings.Split(string(buf[:n]), "\n\n")
+	count := 0
+	for _, s := range stacks {
+		if !strings.Contains(s, "repro/internal/live.") {
+			continue
+		}
+		if strings.Contains(s, "(*Servers)") ||
+			strings.Contains(s, "liveGoroutines") ||
+			strings.Contains(s, "testing.tRunner") {
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// waitForNoLiveGoroutines polls until every package goroutine exited.
+func waitForNoLiveGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := liveGoroutines(); n == 0 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("%d live goroutines still running after shutdown:\n%s", n, buf[:m])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMeasureCancellationLeaksNothing is the resource-hygiene contract:
+// cancelling a run mid-measurement must shut down the backgroundThread
+// goroutine and close the prober, leaving no goroutine behind —
+// whether cancellation lands during the warm-up wait or between probes.
+func TestMeasureCancellationLeaksNothing(t *testing.T) {
+	s := startTestServers(t)
+
+	cases := []struct {
+		name   string
+		cancel time.Duration
+		cfg    Config
+	}{
+		{
+			name:   "during-warmup",
+			cancel: time.Millisecond,
+			cfg: Config{
+				Target: s.Addr(), Probe: ProbeUDPEcho, K: 1000,
+				WarmupDelay: 500 * time.Millisecond, BackgroundInterval: 2 * time.Millisecond,
+				WarmupAddr: s.Addr(),
+			},
+		},
+		{
+			name:   "mid-probes",
+			cancel: 30 * time.Millisecond,
+			cfg: Config{
+				Target: s.Addr(), Probe: ProbeTCPConnect, K: 100000,
+				WarmupDelay: time.Millisecond, BackgroundInterval: 2 * time.Millisecond,
+				WarmupAddr: s.Addr(),
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), tc.cancel)
+			defer cancel()
+			res, err := Measure(ctx, tc.cfg)
+			if err == nil {
+				t.Fatalf("run of %d probes finished before the %v cancellation", tc.cfg.K, tc.cancel)
+			}
+			if res == nil {
+				t.Fatal("cancellation must return the partial result")
+			}
+			if res.Sent == tc.cfg.K {
+				t.Fatal("cancellation did not interrupt the probe loop")
+			}
+			// The deferred bg.stop ran before Measure returned, so its
+			// accounting must be complete and the goroutines gone.
+			if !tc.cfg.NoBackground && res.BackgroundSent == 0 {
+				t.Error("background accounting lost on the cancellation path")
+			}
+			waitForNoLiveGoroutines(t)
+		})
+	}
+}
+
+// TestProberCloseLeaksNothing covers the prober half directly: every
+// prober type must release its sockets on Close with no goroutine left.
+func TestProberCloseLeaksNothing(t *testing.T) {
+	s := startTestServers(t)
+	for _, probe := range []ProbeType{ProbeTCPConnect, ProbeHTTPGet, ProbeUDPEcho} {
+		p, err := NewProber(Config{Target: s.Addr(), Probe: probe, ProbeTimeout: time.Second})
+		if err != nil {
+			t.Fatalf("%v: %v", probe, err)
+		}
+		if _, err := p.Probe(context.Background()); err != nil {
+			t.Fatalf("%v: %v", probe, err)
+		}
+		p.Close()
+	}
+	waitForNoLiveGoroutines(t)
+	// Prove the counter is not vacuous: it must see a deliberately
+	// still-running background thread before that thread is stopped.
+	bt, err := startBackground(Config{Target: s.Addr(), WarmupAddr: s.Addr(), BackgroundInterval: time.Millisecond, BackgroundTTL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveGoroutines() == 0 {
+		bt.stop()
+		t.Fatal("leak counter cannot see a live background goroutine; the test is vacuous")
+	}
+	if sent := bt.stop(); sent < 1 {
+		t.Fatalf("background sent %d packets", sent)
+	}
+	waitForNoLiveGoroutines(t)
+}

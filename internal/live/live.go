@@ -70,6 +70,10 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// NoBackground disables the BT (for A/B comparisons).
 	NoBackground bool
+	// OnProbe, when set, observes every probe as it completes — the
+	// hook the session layer's Sink streams through. It runs on the
+	// measurement path, so it must not block.
+	OnProbe func(ProbeRecord)
 }
 
 func (c *Config) fill() error {
@@ -111,6 +115,11 @@ type ProbeRecord struct {
 // Result aggregates a live run.
 type Result struct {
 	Records []ProbeRecord
+	// Sent and Lost account for all probes attempted, including failed
+	// ones. Plain fields, matching the canonical session.Result shape
+	// (Lost used to be a method here while every other result type
+	// exposed a field).
+	Sent, Lost int
 	// BackgroundSent counts BT datagrams; TTLLimited reports whether the
 	// TTL restriction could be applied.
 	BackgroundSent int
@@ -126,17 +135,6 @@ func (r *Result) Sample() stats.Sample {
 		}
 	}
 	return s
-}
-
-// Lost counts failed probes.
-func (r *Result) Lost() int {
-	n := 0
-	for _, rec := range r.Records {
-		if rec.Err != nil {
-			n++
-		}
-	}
-	return n
 }
 
 // Measure runs the scheme: warm-up, dpre wait, background ticker, then K
@@ -165,18 +163,32 @@ func Measure(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	prober, err := newProber(cfg)
+	prober, err := NewProber(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer prober.close()
+	defer prober.Close()
 
 	for i := 0; i < cfg.K; i++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		rtt, err := prober.probe(ctx)
-		res.Records = append(res.Records, ProbeRecord{Seq: i, RTT: rtt, Err: err})
+		rtt, err := prober.Probe(ctx)
+		if err != nil && ctx.Err() != nil {
+			// The probe was aborted by cancellation, not resolved: it
+			// is neither ok nor lost, so it stays out of the records
+			// and the OnProbe stream.
+			return res, ctx.Err()
+		}
+		rec := ProbeRecord{Seq: i, RTT: rtt, Err: err}
+		res.Records = append(res.Records, rec)
+		res.Sent++
+		if err != nil {
+			res.Lost++
+		}
+		if cfg.OnProbe != nil {
+			cfg.OnProbe(rec)
+		}
 	}
 	return res, nil
 }
@@ -245,13 +257,20 @@ func (bt *backgroundThread) stop() int {
 	return bt.sent
 }
 
-// prober abstracts the MT probe mechanisms.
-type prober interface {
-	probe(ctx context.Context) (time.Duration, error)
-	close()
+// Prober abstracts the MT probe mechanisms: one blocking probe at a
+// time against the configured target. Exported so the session-layer
+// tool methods (interval-paced ping/httping/javaping/ping2 analogues)
+// can reuse the same probing primitives the AcuteMon scheme uses.
+type Prober interface {
+	// Probe runs one probe and returns its RTT.
+	Probe(ctx context.Context) (time.Duration, error)
+	// Close releases the prober's connection state.
+	Close()
 }
 
-func newProber(cfg Config) (prober, error) {
+// NewProber builds a single-probe runner for cfg (Target, Probe, and
+// ProbeTimeout are the fields that matter).
+func NewProber(cfg Config) (Prober, error) {
 	switch cfg.Probe {
 	case ProbeTCPConnect:
 		return &tcpProber{cfg: cfg}, nil
@@ -267,7 +286,7 @@ func newProber(cfg Config) (prober, error) {
 // tcpProber measures connect RTT with a fresh connection per probe.
 type tcpProber struct{ cfg Config }
 
-func (p *tcpProber) probe(ctx context.Context) (time.Duration, error) {
+func (p *tcpProber) Probe(ctx context.Context) (time.Duration, error) {
 	d := net.Dialer{Timeout: p.cfg.ProbeTimeout}
 	start := time.Now()
 	conn, err := d.DialContext(ctx, "tcp4", p.cfg.Target)
@@ -279,7 +298,7 @@ func (p *tcpProber) probe(ctx context.Context) (time.Duration, error) {
 	return rtt, nil
 }
 
-func (p *tcpProber) close() {}
+func (p *tcpProber) Close() {}
 
 // httpProber holds a persistent connection and times GET → first byte.
 type httpProber struct {
@@ -296,7 +315,7 @@ func newHTTPProber(cfg Config) (*httpProber, error) {
 	return &httpProber{cfg: cfg, conn: conn, rd: bufio.NewReader(conn)}, nil
 }
 
-func (p *httpProber) probe(ctx context.Context) (time.Duration, error) {
+func (p *httpProber) Probe(ctx context.Context) (time.Duration, error) {
 	deadline := time.Now().Add(p.cfg.ProbeTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -321,7 +340,7 @@ func (p *httpProber) probe(ctx context.Context) (time.Duration, error) {
 	return rtt, nil
 }
 
-func (p *httpProber) close() { p.conn.Close() }
+func (p *httpProber) Close() { p.conn.Close() }
 
 // drainHTTPResponse consumes one HTTP response with a Content-Length.
 func drainHTTPResponse(rd *bufio.Reader) error {
@@ -366,7 +385,7 @@ func newUDPProber(cfg Config) (*udpProber, error) {
 	return &udpProber{cfg: cfg, conn: conn}, nil
 }
 
-func (p *udpProber) probe(ctx context.Context) (time.Duration, error) {
+func (p *udpProber) Probe(ctx context.Context) (time.Duration, error) {
 	p.seq++
 	deadline := time.Now().Add(p.cfg.ProbeTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -396,4 +415,4 @@ func (p *udpProber) probe(ctx context.Context) (time.Duration, error) {
 	}
 }
 
-func (p *udpProber) close() { p.conn.Close() }
+func (p *udpProber) Close() { p.conn.Close() }

@@ -27,7 +27,7 @@ func TestTCPConnectProbes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := len(res.Sample()); got != 8 {
-		t.Fatalf("completed %d/8 probes (lost %d)", got, res.Lost())
+		t.Fatalf("completed %d/8 probes (lost %d)", got, res.Lost)
 	}
 	for _, rec := range res.Records {
 		if rec.RTT <= 0 || rec.RTT > time.Second {
@@ -54,7 +54,7 @@ func TestHTTPGetProbes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := len(res.Sample()); got != 6 {
-		t.Fatalf("completed %d/6 (lost %d)", got, res.Lost())
+		t.Fatalf("completed %d/6 (lost %d)", got, res.Lost)
 	}
 	reqs, _, conns := s.Stats()
 	if reqs != 6 {
@@ -76,7 +76,7 @@ func TestUDPEchoProbes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := len(res.Sample()); got != 6 {
-		t.Fatalf("completed %d/6 (lost %d)", got, res.Lost())
+		t.Fatalf("completed %d/6 (lost %d)", got, res.Lost)
 	}
 }
 
@@ -121,8 +121,8 @@ func TestProbeFailureOnClosedPort(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Measure itself errored: %v", err)
 	}
-	if res.Lost() != 2 {
-		t.Fatalf("lost = %d, want 2 (connect refused)", res.Lost())
+	if res.Lost != 2 {
+		t.Fatalf("lost = %d, want 2 (connect refused)", res.Lost)
 	}
 }
 

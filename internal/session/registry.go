@@ -1,0 +1,179 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Method is a named probing scheme. Implementations live next to their
+// execution engines (internal/core for acutemon, internal/tools for the
+// comparison tools) and register themselves at init time; they dispatch
+// on the concrete Env type and return ErrUnsupported-wrapped errors for
+// backends they cannot run on.
+type Method interface {
+	// Name is the registry key ("acutemon", "ping", …).
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// Run executes the scheme in env. It must honour ctx (returning a
+	// partial Result plus ctx.Err() when cancelled mid-run), stream
+	// per-probe observations to spec.Sink, and never panic on bad
+	// input.
+	Run(ctx context.Context, env Env, spec Spec) (*Result, error)
+}
+
+// Backend provides the environment sessions run in.
+type Backend interface {
+	// Name is the registry key ("sim", "live", "cellular").
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// NewEnv validates the spec's environment fields and builds one
+	// session environment.
+	NewEnv(spec *Spec) (Env, error)
+}
+
+// Env is a session environment built by a Backend. Methods type-switch
+// on the concrete environments (SimEnv, LiveEnv, CellularEnv) for the
+// capabilities they need.
+type Env interface {
+	// BackendName names the backend that built the environment.
+	BackendName() string
+	// Close releases environment resources after the method returns.
+	Close()
+}
+
+// ErrUnsupported marks a (backend × method) pair that cannot run —
+// e.g. ICMP probes on the unprivileged live backend, or httping on the
+// cellular rig, which has no HTTP server. Test with errors.Is.
+var ErrUnsupported = fmt.Errorf("session: unsupported backend/method combination")
+
+var (
+	regMu    sync.RWMutex
+	methods  = map[string]Method{}
+	backends = map[string]Backend{}
+)
+
+// RegisterMethod adds a method to the registry. Registering a duplicate
+// name panics: method names are part of the public API surface.
+func RegisterMethod(m Method) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := methods[m.Name()]; dup {
+		panic("session: duplicate method " + m.Name())
+	}
+	methods[m.Name()] = m
+}
+
+// RegisterBackend adds a backend to the registry; duplicates panic.
+func RegisterBackend(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := backends[b.Name()]; dup {
+		panic("session: duplicate backend " + b.Name())
+	}
+	backends[b.Name()] = b
+}
+
+// Methods lists the registered probing schemes, sorted by name.
+// Methods register from internal/core and internal/tools at init time,
+// so any importer of those packages (the public facade, the fleet
+// scheduler, the CLIs) sees the full set.
+func Methods() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Method, 0, len(methods))
+	for _, m := range methods {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// MethodByName resolves a probing scheme by registry name.
+func MethodByName(name string) (Method, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := methods[name]
+	return m, ok
+}
+
+// Backends lists the registered environments, sorted by name.
+func Backends() []Backend {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Backend, 0, len(backends))
+	for _, b := range backends {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// BackendByName resolves an environment by registry name.
+func BackendByName(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := backends[name]
+	return b, ok
+}
+
+// Run executes one measurement session: resolve the backend and method
+// by name, apply defaults, build the environment, run the scheme. It is
+// the single entry point every layer above (facade, fleet, ingest
+// loadgen, CLIs) goes through.
+//
+// Contract: Run never panics on bad input (a zero-value Spec errors);
+// a cancelled ctx aborts before any environment is built, and
+// cancellation mid-run returns the partial Result alongside ctx's
+// error. spec.Sink observes every probe the run completed.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if spec.Backend == "" && spec.Method == "" {
+		return nil, fmt.Errorf("session: zero-value Spec: Backend and Method are required")
+	}
+	if spec.Backend == "" {
+		return nil, fmt.Errorf("session: Spec.Backend required (one of %v)", names(Backends()))
+	}
+	if spec.Method == "" {
+		return nil, fmt.Errorf("session: Spec.Method required (one of %v)", names(Methods()))
+	}
+	b, ok := BackendByName(spec.Backend)
+	if !ok {
+		return nil, fmt.Errorf("session: unknown backend %q (have %v)", spec.Backend, names(Backends()))
+	}
+	m, ok := MethodByName(spec.Method)
+	if !ok {
+		return nil, fmt.Errorf("session: unknown method %q (have %v)", spec.Method, names(Methods()))
+	}
+	probe, err := CanonicalProbe(spec.Probe)
+	if err != nil {
+		return nil, err
+	}
+	spec.Probe = probe
+	spec.fill()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	env, err := b.NewEnv(&spec)
+	if err != nil {
+		return nil, fmt.Errorf("session: backend %s: %w", b.Name(), err)
+	}
+	defer env.Close()
+	res, err := m.Run(ctx, env, spec)
+	if res != nil {
+		res.Backend, res.Method = b.Name(), m.Name()
+	}
+	return res, err
+}
+
+// names extracts registry names for error messages. Accepts the slices
+// Methods() and Backends() return.
+func names[T interface{ Name() string }](items []T) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.Name()
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCanonicalProbeAliases(t *testing.T) {
+	cases := map[string]string{
+		"":            "",
+		"tcp":         ProbeTCP,
+		"tcp-syn":     ProbeTCP,
+		"tcp-connect": ProbeTCP,
+		"http":        ProbeHTTP,
+		"http-get":    ProbeHTTP,
+		"udp":         ProbeUDP,
+		"udp-echo":    ProbeUDP,
+		"icmp":        ProbeICMP,
+		"icmp-echo":   ProbeICMP,
+	}
+	for in, want := range cases {
+		got, err := CanonicalProbe(in)
+		if err != nil || got != want {
+			t.Errorf("CanonicalProbe(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := CanonicalProbe("carrier-pigeon"); err == nil {
+		t.Error("unknown probe name accepted")
+	}
+}
+
+func TestSpecFillDefaults(t *testing.T) {
+	s := Spec{Backend: "sim", Method: "acutemon"}
+	s.fill()
+	if s.Interval != time.Second || s.Timeout != 2*time.Second {
+		t.Errorf("pacing defaults: interval=%v timeout=%v", s.Interval, s.Timeout)
+	}
+	if s.Phone != "Google Nexus 5" || s.Seed != 1 || s.Radio != "umts" {
+		t.Errorf("env defaults: phone=%q seed=%d radio=%q", s.Phone, s.Seed, s.Radio)
+	}
+	if s.EmulatedRTT != 30*time.Millisecond || s.Settle != 300*time.Millisecond {
+		t.Errorf("sim defaults: rtt=%v settle=%v", s.EmulatedRTT, s.Settle)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	backends := Backends()
+	if len(backends) == 0 {
+		t.Fatal("built-in backends missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate backend registration did not panic")
+		}
+	}()
+	RegisterBackend(simBackend{})
+}
+
+func TestResultSampleAndLossRate(t *testing.T) {
+	r := Result{
+		Records: []Observation{
+			{Seq: 0, RTT: 10 * time.Millisecond, OK: true},
+			{Seq: 1, OK: false},
+			{Seq: 2, RTT: 30 * time.Millisecond, OK: true},
+		},
+		Sent: 3, Lost: 1,
+	}
+	if s := r.Sample(); len(s) != 2 || s[0] != 10*time.Millisecond {
+		t.Errorf("Sample() = %v", s)
+	}
+	if lr := r.LossRate(); lr < 0.33 || lr > 0.34 {
+		t.Errorf("LossRate() = %v", lr)
+	}
+	if (&Result{}).LossRate() != 0 {
+		t.Error("zero-value LossRate should be 0")
+	}
+}

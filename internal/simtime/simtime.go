@@ -12,6 +12,7 @@ package simtime
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -170,6 +171,53 @@ func (s *Sim) RunUntil(t time.Duration) {
 
 // RunFor is RunUntil(Now()+d).
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// StepUntilCtx fires events until done reports true, the clock reaches
+// limit, or the queue drains — checking ctx every few events. It is the
+// one shared drive loop for completion-flag-driven runs (the AcuteMon
+// monitors); RunUntilCtx below is its time-horizon sibling. Events
+// already fired stay fired; the remainder stay queued.
+func (s *Sim) StepUntilCtx(ctx context.Context, limit time.Duration, done func() bool) error {
+	steps := 0
+	for !done() && s.now < limit {
+		if steps&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		steps++
+		if !s.Step() {
+			break
+		}
+	}
+	return ctx.Err()
+}
+
+// RunUntilCtx is RunUntil with cooperative cancellation: it fires the
+// same events RunUntil(t) would (timestamps <= t, clock advanced to t
+// afterwards) but checks ctx every few events and stops early with
+// ctx's error when it is cancelled. Events already fired stay fired;
+// the remainder stay queued, so a cancelled run leaves a consistent
+// partial simulation behind.
+func (s *Sim) RunUntilCtx(ctx context.Context, t time.Duration) error {
+	steps := 0
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= t {
+		if steps&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		steps++
+		s.Step()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return nil
+}
 
 // Stop halts the event loop; queued events are kept but will not fire
 // unless Resume is called.

@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -332,5 +333,60 @@ func TestQuickTickerNextAfter(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunUntilCtxMatchesRunUntil(t *testing.T) {
+	build := func() (*Sim, *[]time.Duration) {
+		s := New(1)
+		var fired []time.Duration
+		for _, d := range []time.Duration{1 * time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond, 20 * time.Millisecond} {
+			d := d
+			s.Schedule(d, func() { fired = append(fired, d) })
+		}
+		return s, &fired
+	}
+
+	a, firedA := build()
+	a.RunUntil(10 * time.Millisecond)
+	b, firedB := build()
+	if err := b.RunUntilCtx(context.Background(), 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(*firedA) != len(*firedB) || len(*firedB) != 3 {
+		t.Fatalf("fired %d vs %d events, want 3 each", len(*firedA), len(*firedB))
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("clocks diverge: %v vs %v", a.Now(), b.Now())
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("events beyond the horizon must stay queued, pending=%d", b.Pending())
+	}
+}
+
+func TestRunUntilCtxCancelled(t *testing.T) {
+	s := New(1)
+	fired := 0
+	// A self-rescheduling event chain that would run forever.
+	var loop func()
+	loop = func() {
+		fired++
+		s.Schedule(time.Millisecond, loop)
+	}
+	s.Schedule(0, loop)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.RunUntilCtx(ctx, time.Hour); err == nil {
+		t.Fatal("cancelled context not reported")
+	}
+	if fired > 64 {
+		t.Fatalf("cancellation let %d events fire", fired)
+	}
+	if err := s.RunUntilCtx(context.Background(), s.Now()+3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired < 3 {
+		t.Fatalf("simulation did not resume after a cancelled drive, fired=%d", fired)
 	}
 }

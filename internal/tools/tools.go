@@ -45,46 +45,6 @@ func (r Result) Sample() stats.Sample {
 	return out
 }
 
-// LayerSamples extracts per-layer RTT samples for the run's successful
-// probes via the testbed's capture infrastructure. du is the
-// tool-*reported* RTT (quirks included), matching the paper's
-// definition of the user-level measurement.
-func LayerSamples(tb *testbed.Testbed, r Result) (du, dk, dn stats.Sample) {
-	for _, rec := range r.Records {
-		if !rec.OK {
-			continue
-		}
-		l := tb.ExtractRTTs(rec.ReqID, rec.RespID, rec.SentAt, rec.RecvAt)
-		du = append(du, rec.RTT)
-		if l.DkOK {
-			dk = append(dk, l.Dk)
-		}
-		if l.DnOK {
-			dn = append(dn, l.Dn)
-		}
-	}
-	return
-}
-
-// Overheads extracts Δdu−k and Δdk−n per probe (Figures 3 and 7). The
-// user-level term is the tool-reported RTT, so Android ping's integer
-// truncation can — as in Fig 3(b)/(d) — drive Δdu−k negative.
-func Overheads(tb *testbed.Testbed, r Result) (duk, dkn stats.Sample) {
-	for _, rec := range r.Records {
-		if !rec.OK {
-			continue
-		}
-		l := tb.ExtractRTTs(rec.ReqID, rec.RespID, rec.SentAt, rec.RecvAt)
-		if l.DkOK {
-			duk = append(duk, rec.RTT-l.Dk)
-		}
-		if d, ok := l.DeltaKN(); ok {
-			dkn = append(dkn, d)
-		}
-	}
-	return
-}
-
 // PingOptions configures an ICMP ping run.
 type PingOptions struct {
 	Count int
@@ -132,6 +92,17 @@ func reportPingRTT(prof android.Profile, raw time.Duration) time.Duration {
 // §3.1) against the measurement server. The returned Result is complete
 // once the testbed's event loop has drained past the run.
 func Ping(tb *testbed.Testbed, opts PingOptions) *Result {
+	res, deadline := pingStart(tb, opts)
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// pingStart schedules the whole run (sends, reply handler, final tally)
+// without driving the simulation, returning the result shell and the
+// relative deadline the driver must reach. The split lets the session
+// method drive the same schedule under a cancellable context while Ping
+// keeps its drain-to-completion behavior bit-for-bit.
+func pingStart(tb *testbed.Testbed, opts PingOptions) (*Result, time.Duration) {
 	opts.fill()
 	res := &Result{Tool: "ping", Records: make([]ProbeRecord, opts.Count)}
 	phone := tb.Phone
@@ -175,8 +146,7 @@ func Ping(tb *testbed.Testbed, opts PingOptions) *Result {
 			}
 		}
 	})
-	tb.Sim.RunFor(deadline + time.Millisecond)
-	return res
+	return res, deadline
 }
 
 // HTTPingOptions configures an httping run.
@@ -207,9 +177,17 @@ func (o *HTTPingOptions) fill() {
 // the request→first-response time. With ConnectOnly it instead times a
 // fresh TCP connect per probe (httping -r).
 func HTTPing(tb *testbed.Testbed, opts HTTPingOptions) *Result {
+	res, deadline := httpingStart(tb, opts)
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// httpingStart schedules an httping run without driving the simulation
+// (see pingStart).
+func httpingStart(tb *testbed.Testbed, opts HTTPingOptions) (*Result, time.Duration) {
 	opts.fill()
 	if opts.ConnectOnly {
-		return httpingConnectOnly(tb, opts)
+		return httpingConnectOnlyStart(tb, opts)
 	}
 	res := &Result{Tool: "httping", Records: make([]ProbeRecord, opts.Count)}
 	phone := tb.Phone
@@ -263,8 +241,7 @@ func HTTPing(tb *testbed.Testbed, opts HTTPingOptions) *Result {
 			}
 		}
 	})
-	tb.Sim.RunFor(deadline + time.Millisecond)
-	return res
+	return res, deadline
 }
 
 // JavaPingOptions configures the MobiPerf-style Java ping.
@@ -291,6 +268,14 @@ func (o *JavaPingOptions) fill() {
 // timed until the RST comes back — with the DVM runtime overhead on both
 // ends of each probe.
 func JavaPing(tb *testbed.Testbed, opts JavaPingOptions) *Result {
+	res, deadline := javaPingStart(tb, opts)
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// javaPingStart schedules a Java-ping run without driving the
+// simulation (see pingStart).
+func javaPingStart(tb *testbed.Testbed, opts JavaPingOptions) (*Result, time.Duration) {
 	opts.fill()
 	res := &Result{Tool: "java-ping", Records: make([]ProbeRecord, opts.Count)}
 	phone := tb.Phone
@@ -331,8 +316,7 @@ func JavaPing(tb *testbed.Testbed, opts JavaPingOptions) *Result {
 			}
 		}
 	})
-	tb.Sim.RunFor(deadline + time.Millisecond)
-	return res
+	return res, deadline
 }
 
 // Ping2Options configures the ping2 baseline.
@@ -361,6 +345,14 @@ func (o *Ping2Options) fill() {
 // for long paths — the phone falls back asleep before the second probe
 // lands — and the A1 ablation reproduces exactly that.
 func Ping2(tb *testbed.Testbed, opts Ping2Options) *Result {
+	res, deadline := ping2Start(tb, opts)
+	tb.Sim.RunFor(deadline + time.Millisecond)
+	return res
+}
+
+// ping2Start schedules a ping2 run without driving the simulation (see
+// pingStart).
+func ping2Start(tb *testbed.Testbed, opts Ping2Options) (*Result, time.Duration) {
 	opts.fill()
 	res := &Result{Tool: "ping2", Records: make([]ProbeRecord, opts.Rounds)}
 	srv := tb.Server.Stack
@@ -413,13 +405,12 @@ func Ping2(tb *testbed.Testbed, opts Ping2Options) *Result {
 			}
 		}
 	})
-	tb.Sim.RunFor(deadline + time.Millisecond)
-	return res
+	return res, deadline
 }
 
-// httpingConnectOnly is httping -r: fresh connection per probe, connect
-// time reported.
-func httpingConnectOnly(tb *testbed.Testbed, opts HTTPingOptions) *Result {
+// httpingConnectOnlyStart is httping -r: fresh connection per probe,
+// connect time reported.
+func httpingConnectOnlyStart(tb *testbed.Testbed, opts HTTPingOptions) (*Result, time.Duration) {
 	res := &Result{Tool: "httping -r", Records: make([]ProbeRecord, opts.Count)}
 	phone := tb.Phone
 	for i := 0; i < opts.Count; i++ {
@@ -455,6 +446,5 @@ func httpingConnectOnly(tb *testbed.Testbed, opts HTTPingOptions) *Result {
 			}
 		}
 	})
-	tb.Sim.RunFor(deadline + time.Millisecond)
-	return res
+	return res, deadline
 }
