@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint fmt ci
+.PHONY: build test race bench bench-json e2e-restart lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,22 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Machine-readable benchmark record for the perf trajectory (ns/op,
-# summaries/sec, and now BenchmarkSessionRun's ms/session through the
-# unified pipeline), archived as BENCH_4.json by the CI bench job. Two
-# steps so a go test failure stops make instead of hiding in a pipe;
-# CI runs this exact target, keeping local and CI artifacts identical.
+# summaries/sec, and now the knowledge store's correction-lookup and
+# snapshot/merge benchmarks), archived as BENCH_5.json by the CI bench
+# job. Two steps so a go test failure stops make instead of hiding in a
+# pipe; CI runs this exact target, keeping local and CI artifacts
+# identical.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-out.txt
-	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_4.json
-	@echo "wrote BENCH_4.json"
+	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_5.json
+	@echo "wrote BENCH_5.json"
+
+# The ingestd persistence e2e in isolation: kill → reboot → learned
+# overhead table identical, plus the fleet→ingest delta merge. CI runs
+# this as its own step so a persistence regression is named in the job
+# list, not buried in the full test log.
+e2e-restart:
+	$(GO) test -count=1 -run 'TestIngestdRestartRoundTrip|TestProfilesDeltaMerge' -v ./internal/ingest
 
 lint:
 	$(GO) vet ./...

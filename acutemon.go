@@ -46,6 +46,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/live"
+	"repro/internal/puncture"
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -325,6 +326,12 @@ type ShardedRegistry = core.ShardedRegistry
 // (shards < 1 selects the default shard count).
 func NewShardedRegistry(shards int) *ShardedRegistry { return core.NewShardedRegistry(shards) }
 
+// RegistryView wraps an existing device-knowledge store in the
+// deprecated ShardedRegistry interface, so calibrations recorded
+// through the legacy surface land in the same store as the learned
+// overhead profiles (nil store → nil view).
+func RegistryView(st *KnowledgeStore) *ShardedRegistry { return core.RegistryView(st) }
+
 // Fleet-scale campaign surface. A Campaign runs hundreds to thousands
 // of independent simulated measurement sessions on a bounded worker
 // pool and streams per-session summaries into mergeable campaign
@@ -404,3 +411,50 @@ type (
 // StartIngest starts an ingest server; stop it with Shutdown (which
 // drains in-flight batches).
 func StartIngest(cfg IngestConfig) (*IngestServer, error) { return ingest.Start(cfg) }
+
+// Device-knowledge surface: the persistent, mergeable store fusing
+// calibrated energy-saving timers (the paper's §4.1 configuration
+// database) with the crowd-learned per-model overhead profiles, keyed
+// by model and WiFi chipset family. One store serves every layer: the
+// ingest service punctures live traffic from it, fleet campaigns teach
+// it and emit mergeable deltas, and sessions feed it via
+// SessionSpec.Knowledge.
+type (
+	// KnowledgeStore is the lock-striped device-knowledge store.
+	KnowledgeStore = puncture.Store
+	// DeviceProfile is one model's fused knowledge: calibrated timers
+	// + learned overhead moments/sketch + sample counts and epoch.
+	DeviceProfile = puncture.DeviceProfile
+	// KnowledgeSnapshot is the store's canonical serialized form.
+	KnowledgeSnapshot = puncture.Snapshot
+	// CorrectionSource labels a correction's resolution-ladder rung:
+	// reported → learned → chipset family → global prior → none.
+	CorrectionSource = puncture.Source
+)
+
+// Correction provenance, from strongest to weakest.
+const (
+	CorrectionNone     = puncture.SourceNone
+	CorrectionReported = puncture.SourceReported
+	CorrectionLearned  = puncture.SourceLearned
+	CorrectionFamily   = puncture.SourceFamily
+	CorrectionGlobal   = puncture.SourceGlobal
+)
+
+// NewKnowledgeStore returns an empty device-knowledge store (shards <
+// 1 selects the default stripe count).
+func NewKnowledgeStore(shards int) *KnowledgeStore { return puncture.NewStore(shards) }
+
+// LoadKnowledge builds a store from a snapshot file; a missing file
+// returns an empty store with found == false (a clean first boot).
+func LoadKnowledge(path string, shards int) (st *KnowledgeStore, found bool, err error) {
+	return puncture.LoadFile(path, shards)
+}
+
+// FeedKnowledge folds a finished session's per-layer attribution into
+// the store under the spec's phone model (and chipset family); returns
+// false when the session had nothing extractable. Equivalent to
+// setting SessionSpec.Knowledge before Run.
+func FeedKnowledge(st *KnowledgeStore, spec SessionSpec, res *SessionResult) bool {
+	return session.FeedKnowledge(st, spec, res)
+}

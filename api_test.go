@@ -7,8 +7,10 @@ package acutemon_test
 // their historic signatures while delegating to Run.
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"testing"
 	"time"
 
@@ -296,6 +298,83 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 	}
 	if du, _, _ := acutemon.ToolLayerSamples(tb2, ping); len(du) == 0 {
 		t.Error("Ping result lost layer extraction compatibility")
+	}
+}
+
+// TestDeprecatedRegistryFacades pins the legacy calibration-database
+// surface compile-time: Registry and ShardedRegistry are now thin
+// views over the device-knowledge store, but every historic method
+// keeps its exact signature and the JSON file format is unchanged.
+func TestDeprecatedRegistryFacades(t *testing.T) {
+	// Compile-time signature pins (like the PR 4 facade pins): a drift
+	// in any deprecated method breaks this assignment list.
+	var (
+		_ func() *acutemon.Registry                                                                    = acutemon.NewRegistry
+		_ func(io.Reader) (*acutemon.Registry, error)                                                  = acutemon.LoadRegistry
+		_ func(int) *acutemon.ShardedRegistry                                                          = acutemon.NewShardedRegistry
+		_ func(r *acutemon.Registry, e acutemon.RegistryEntry) error                                   = (*acutemon.Registry).Put
+		_ func(r *acutemon.Registry) int                                                               = (*acutemon.Registry).Len
+		_ func(r *acutemon.Registry, m string, base acutemon.Config) (acutemon.Config, bool)           = (*acutemon.Registry).ConfigFor
+		_ func(s *acutemon.ShardedRegistry, e acutemon.RegistryEntry) error                            = (*acutemon.ShardedRegistry).Record
+		_ func(s *acutemon.ShardedRegistry) *acutemon.Registry                                         = (*acutemon.ShardedRegistry).Snapshot
+		_ func(s *acutemon.ShardedRegistry, r *acutemon.Registry) error                                = (*acutemon.ShardedRegistry).Load
+		_ func(s *acutemon.ShardedRegistry) *acutemon.KnowledgeStore                                   = (*acutemon.ShardedRegistry).Store
+		_ func(s *acutemon.ShardedRegistry, m string) (acutemon.RegistryEntry, bool)                   = (*acutemon.ShardedRegistry).Lookup
+		_ func(st *acutemon.KnowledgeStore) []acutemon.DeviceProfile                                   = (*acutemon.KnowledgeStore).Profiles
+		_ func(st *acutemon.KnowledgeStore, e acutemon.RegistryEntry) error                            = (*acutemon.KnowledgeStore).RecordCalibration
+		_ func(st *acutemon.KnowledgeStore, o *acutemon.KnowledgeStore) error                          = (*acutemon.KnowledgeStore).Merge
+		_ func(st *acutemon.KnowledgeStore, m string) (acutemon.RegistryEntry, bool)                   = (*acutemon.KnowledgeStore).Calibration
+		_ func(st *acutemon.KnowledgeStore, m, chip string) (time.Duration, acutemon.CorrectionSource) = (*acutemon.KnowledgeStore).Resolve
+	)
+
+	// The view and the store share state: a Record through the facade
+	// is visible as a DeviceProfile, and the old JSON array format
+	// round-trips.
+	reg := acutemon.NewShardedRegistry(0)
+	e := acutemon.RegistryEntry{
+		Model: "Pin Phone", Chipset: "BCM-pin",
+		Tip: 200 * time.Millisecond, Tis: 300 * time.Millisecond,
+		Warmup: 20 * time.Millisecond, Interval: 20 * time.Millisecond, Samples: 3,
+	}
+	if err := reg.Record(e); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := reg.Store().Lookup("Pin Phone")
+	if !ok || p.CalEntry != e {
+		t.Fatalf("facade record invisible in store: %+v", p)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := acutemon.LoadRegistry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := back.Get("Pin Phone"); !ok || got != e {
+		t.Fatalf("registry JSON round trip: %+v ok=%v", got, ok)
+	}
+}
+
+// TestFeedKnowledgeFacade runs one sim session with a Knowledge store
+// attached and confirms the attribution landed.
+func TestFeedKnowledgeFacade(t *testing.T) {
+	st := acutemon.NewKnowledgeStore(0)
+	res, err := acutemon.Run(context.Background(), acutemon.SessionSpec{
+		Backend: "sim", Method: "acutemon", K: 5, Seed: 3, Knowledge: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 5 {
+		t.Fatalf("sent %d", res.Sent)
+	}
+	p, ok := st.Lookup("Google Nexus 5")
+	if !ok || p.AttributionSessions() != 1 || p.Chipset == "" {
+		t.Fatalf("knowledge not fed: ok=%v %+v", ok, p)
+	}
+	if corr, src := st.Resolve("Google Nexus 5", ""); src != acutemon.CorrectionLearned || corr < 0 {
+		t.Fatalf("resolve: %v/%v", corr, src)
 	}
 }
 

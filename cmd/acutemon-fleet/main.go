@@ -6,7 +6,8 @@
 //
 //	acutemon-fleet [-scenario device-mix] [-sessions 1000] [-workers 0]
 //	               [-probes 100] [-rtt 30ms] [-seed 1] [-json]
-//	               [-registry fleet.json] [-calibrate] [-progress]
+//	               [-registry fleet.json] [-profiles knowledge.json]
+//	               [-calibrate] [-progress]
 //	acutemon-fleet -list
 //
 // SIGINT/SIGTERM stop dispatching at the next session boundary, drain
@@ -41,6 +42,7 @@ func main() {
 	rtt := flag.Duration("rtt", 30*time.Millisecond, "base emulated path RTT")
 	seed := flag.Int64("seed", 1, "campaign seed (results are reproducible per seed)")
 	registryPath := flag.String("registry", "", "calibration database JSON: loaded if present, saved after the run")
+	profilesPath := flag.String("profiles", "", "device-knowledge snapshot: loaded if present, taught by every attributing session (and -calibrate), saved after the run; POST it to a live ingestd's /v1/profiles to merge the delta")
 	calibrate := flag.Bool("calibrate", false, "auto-calibrate models missing from the registry (implies a shared registry)")
 	progress := flag.Bool("progress", false, "print one line per 100 finished sessions")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable CampaignReport as JSON on stdout")
@@ -144,8 +146,26 @@ func main() {
 		}
 	}
 
+	if *profilesPath != "" {
+		st, found, err := acutemon.LoadKnowledge(*profilesPath, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiles:", err)
+			os.Exit(1)
+		}
+		if found {
+			fmt.Fprintf(info, "loaded device knowledge from %s: %d profiles (%d calibrated)\n",
+				*profilesPath, st.Len(), st.CalibratedLen())
+		}
+		c.Profiles = st
+	}
 	if *registryPath != "" || *calibrate {
-		reg := acutemon.NewShardedRegistry(0)
+		// With -profiles, the registry is a view over the same knowledge
+		// store, so -calibrate calibrations (and a loaded -registry
+		// database) land in the saved snapshot too.
+		reg := acutemon.RegistryView(c.Profiles)
+		if reg == nil {
+			reg = acutemon.NewShardedRegistry(0)
+		}
 		if *registryPath != "" {
 			if f, err := os.Open(*registryPath); err == nil {
 				plain, err := acutemon.LoadRegistry(f)
@@ -200,6 +220,14 @@ func main() {
 		fmt.Print(rep.Render())
 	}
 
+	if c.Profiles != nil && *profilesPath != "" {
+		if err := c.Profiles.SaveFile(*profilesPath); err != nil {
+			fmt.Fprintln(os.Stderr, "profiles:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(info, "saved %d device profiles (%d calibrated) to %s\n",
+			c.Profiles.Len(), c.Profiles.CalibratedLen(), *profilesPath)
+	}
 	if c.Registry != nil && *registryPath != "" {
 		f, err := os.Create(*registryPath)
 		if err != nil {

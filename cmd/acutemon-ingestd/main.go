@@ -50,6 +50,8 @@ func main() {
 	maxCells := flag.Int64("max-cells", 0, "distinct aggregation cell cap (0 = default, negative = uncapped)")
 	retention := flag.Duration("retention", 0, "prune windows older than this (0 = 24h, negative = keep forever)")
 	registryPath := flag.String("registry", "", "calibration database JSON to serve and puncture against")
+	profilesPath := flag.String("profiles", "", "device-knowledge snapshot: loaded on boot, snapshotted atomically while serving, saved on drain (learned overheads survive restarts)")
+	profilesInterval := flag.Duration("profiles-interval", time.Minute, "periodic knowledge-snapshot cadence with -profiles (negative disables the periodic saver)")
 
 	loadgen := flag.Bool("loadgen", false, "run a fleet campaign through the wire protocol and verify the aggregates")
 	scenario := flag.String("scenario", "device-mix", "loadgen campaign preset")
@@ -89,14 +91,16 @@ func main() {
 	}
 
 	cfg := ingest.Config{
-		Addr:        *addr,
-		Window:      *window,
-		QueueDepth:  *queue,
-		FoldWorkers: *foldWorkers,
-		MaxConns:    *maxConns,
-		MaxCells:    *maxCells,
-		Retention:   *retention,
-		Registry:    registry,
+		Addr:             *addr,
+		Window:           *window,
+		QueueDepth:       *queue,
+		FoldWorkers:      *foldWorkers,
+		MaxConns:         *maxConns,
+		MaxCells:         *maxCells,
+		Retention:        *retention,
+		Registry:         registry,
+		ProfilesPath:     *profilesPath,
+		ProfilesInterval: *profilesInterval,
 	}
 	if *window == 0 {
 		cfg.Window = -1
@@ -127,7 +131,12 @@ func serve(ctx context.Context, cfg ingest.Config) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("acutemon-ingestd listening on %s (POST /v1/ingest; GET /stats /models /healthz)\n", s.Addr())
+	fmt.Printf("acutemon-ingestd listening on %s (POST /v1/ingest /v1/profiles; GET /v1/profiles /stats /models /healthz)\n", s.Addr())
+	if cfg.ProfilesPath != "" {
+		st := s.Puncturer().Store()
+		fmt.Printf("device knowledge at %s: %d profiles (%d calibrated) on boot\n",
+			cfg.ProfilesPath, st.Len(), st.CalibratedLen())
+	}
 	<-ctx.Done()
 	fmt.Println("signal received; draining in-flight batches…")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -151,6 +160,8 @@ func printStats(s *ingest.Server, by ingest.Rollup) {
 	fmt.Printf("batches: %d accepted, %d shed (backpressure), %d malformed; summaries folded: %d (%d RTTs)\n",
 		m["accepted_batches"], m["rejected_batches"], m["bad_batches"],
 		m["folded_summaries"], m["folded_samples"])
+	fmt.Printf("knowledge: %d learned profiles, %d cap rejections, %d fleet deltas merged, %d snapshots saved\n",
+		m["learned_models"], m["profile_rejections"], m["profile_merges"], m["profile_saves"])
 }
 
 type loadgenSpec struct {

@@ -7,7 +7,7 @@
 //	acutemon [-backend sim|cellular] [-method acutemon|ping|httping|javaping|ping2]
 //	         [-phone "Google Nexus 5"] [-rtt 30ms] [-count 100] [-interval 1s]
 //	         [-probe tcp|http|udp|icmp] [-radio umts|lte] [-cross] [-seed 1]
-//	         [-calibrate] [-pcap out.pcap]
+//	         [-calibrate] [-profiles knowledge.json] [-pcap out.pcap]
 //	acutemon -list
 //
 // The -backend/-method pair is the same vocabulary acutemon-live and
@@ -42,6 +42,7 @@ func main() {
 	cross := flag.Bool("cross", false, "enable iPerf cross traffic (§4.3, sim only)")
 	seed := flag.Int64("seed", 1, "random seed")
 	calibrate := flag.Bool("calibrate", false, "calibrate Tis/Tip first and use the recommended dpre/db (sim acutemon)")
+	profilesPath := flag.String("profiles", "", "device-knowledge snapshot: stored dpre/db is applied without retraining (sim acutemon), the session's attribution is folded back in, and the file is saved after the run")
 	pcapPath := flag.String("pcap", "", "write sniffer A's capture to this .pcap file (sim only)")
 	flag.Parse()
 
@@ -87,6 +88,37 @@ func main() {
 		Radio:        *radio,
 	}
 
+	// The shared device-knowledge path: prior sessions' calibrations
+	// configure this one, and this one's attribution teaches the store.
+	var knowledge *acutemon.KnowledgeStore
+	if *profilesPath != "" {
+		st, found, err := acutemon.LoadKnowledge(*profilesPath, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiles:", err)
+			os.Exit(1)
+		}
+		knowledge = st
+		if found {
+			fmt.Printf("loaded device knowledge from %s: %d profiles (%d calibrated)\n",
+				*profilesPath, st.Len(), st.CalibratedLen())
+		}
+		spec.Knowledge = knowledge
+		if *backend == "sim" && *method == "acutemon" && !*calibrate {
+			// Profiles are stored under the canonical model name, so
+			// resolve phone aliases ("nexus5") before the lookup.
+			model := *phone
+			if prof, ok := acutemon.ProfileByName(*phone); ok {
+				model = prof.Model
+			}
+			if e, ok := knowledge.Calibration(model); ok {
+				fmt.Printf("knowledge base: using stored dpre=%v db=%v (Tip≈%v, %d samples)\n",
+					e.Warmup, e.Interval, e.Tip.Round(time.Millisecond), e.Samples)
+				spec.WarmupDelay = e.Warmup
+				spec.BackgroundInterval = e.Interval
+			}
+		}
+	}
+
 	// On the sim backend the rig is built here so calibration, the
 	// layer report, and -pcap all see the same capture; the spec then
 	// carries it into Run.
@@ -118,6 +150,16 @@ func main() {
 				cal.Tip.Round(time.Millisecond), cal.Tis, cal.RecommendedInterval)
 			spec.WarmupDelay = cal.RecommendedWarmup
 			spec.BackgroundInterval = cal.RecommendedInterval
+			if knowledge != nil {
+				if err := knowledge.RecordCalibration(acutemon.RegistryEntry{
+					Model: prof.Model, Chipset: prof.Chipset,
+					Tip: cal.Tip, Tis: cal.Tis,
+					Warmup: cal.RecommendedWarmup, Interval: cal.RecommendedInterval,
+					Samples: len(cal.TipSamples),
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "profiles:", err)
+				}
+			}
 		}
 	} else {
 		fmt.Printf("backend: %s (radio %s), core RTT %v\n", *backend, *radio, *rtt)
@@ -168,5 +210,14 @@ func main() {
 		}
 		fmt.Printf("wrote %d captured frames to %s (802.11 link type; open with tcpdump/Wireshark)\n",
 			len(tb.Sniffers[0].Records()), *pcapPath)
+	}
+
+	if knowledge != nil {
+		if err := knowledge.SaveFile(*profilesPath); err != nil {
+			fmt.Fprintln(os.Stderr, "profiles:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d device profiles (%d calibrated) to %s\n",
+			knowledge.Len(), knowledge.CalibratedLen(), *profilesPath)
 	}
 }

@@ -65,6 +65,18 @@ func main() {
 	resp.Body.Close()
 	fmt.Print(string(table))
 
+	// 5. The device knowledge the traffic taught: every attributing
+	// session folded its per-model overheads into the knowledge store,
+	// which /v1/profiles serves whole (and which `-profiles` would
+	// persist across restarts).
+	var profiles struct {
+		Models   int              `json:"models"`
+		Resolved map[string]int64 `json:"resolved_by_source"`
+	}
+	getJSON(srv.URL()+"/v1/profiles", &profiles)
+	fmt.Printf("knowledge store: %d learned device profiles; corrections by source: %v\n",
+		profiles.Models, profiles.Resolved)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -4,88 +4,58 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
-	"time"
 
+	"repro/internal/puncture"
 	"repro/internal/testbed"
 )
 
 // RegistryEntry stores one device model's calibrated energy-saving
 // parameters — the paper's §4.1 "collect the configurations by
-// modelling and building a database" future-work item.
-type RegistryEntry struct {
-	Model   string `json:"model"`
-	Chipset string `json:"chipset,omitempty"`
-	// Tip and Tis are the measured demotion timers.
-	Tip time.Duration `json:"tip_ns"`
-	Tis time.Duration `json:"tis_ns"`
-	// Warmup (dpre) and Interval (db) are the derived AcuteMon settings.
-	Warmup   time.Duration `json:"warmup_ns"`
-	Interval time.Duration `json:"interval_ns"`
-	// Samples records how many Tip observations backed the entry.
-	Samples int `json:"samples"`
-}
-
-// Validate reports whether the entry is usable.
-func (e RegistryEntry) Validate() error {
-	if e.Model == "" {
-		return fmt.Errorf("registry: entry without model")
-	}
-	if e.Interval <= 0 || e.Warmup <= 0 {
-		return fmt.Errorf("registry: %s: non-positive dpre/db", e.Model)
-	}
-	min := e.Tip
-	if e.Tis > 0 && e.Tis < min {
-		min = e.Tis
-	}
-	if min > 0 && e.Interval >= min {
-		return fmt.Errorf("registry: %s: db %v violates db < min(Tis,Tip) = %v", e.Model, e.Interval, min)
-	}
-	return nil
-}
+// modelling and building a database" future-work item. It is an alias
+// of puncture.CalEntry: the calibration half of a DeviceProfile in the
+// unified device-knowledge store, kept here so every historic caller
+// (and every saved registry JSON file) keeps working unchanged.
+type RegistryEntry = puncture.CalEntry
 
 // Registry is a per-model calibration database.
+//
+// Deprecated: Registry is now a thin single-stripe view over
+// puncture.Store, the unified device-knowledge engine that also holds
+// the learned overhead profiles. New code should use the store
+// directly (puncture.NewStore, Store.RecordCalibration,
+// Store.Calibration); Registry remains as the JSON-array load/save
+// facade for existing -registry files.
 type Registry struct {
-	entries map[string]RegistryEntry
+	store *puncture.Store
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{entries: make(map[string]RegistryEntry)} }
+func NewRegistry() *Registry { return &Registry{store: puncture.NewStore(1)} }
+
+// Store exposes the backing device-knowledge store.
+func (r *Registry) Store() *puncture.Store { return r.store }
 
 // Put inserts or replaces an entry after validation.
-func (r *Registry) Put(e RegistryEntry) error {
-	if err := e.Validate(); err != nil {
-		return err
-	}
-	r.entries[e.Model] = e
-	return nil
-}
+func (r *Registry) Put(e RegistryEntry) error { return r.store.RecordCalibration(e) }
 
 // Get looks an entry up by exact model name.
-func (r *Registry) Get(model string) (RegistryEntry, bool) {
-	e, ok := r.entries[model]
-	return e, ok
-}
+func (r *Registry) Get(model string) (RegistryEntry, bool) { return r.store.Calibration(model) }
 
 // Models lists the stored models, sorted.
-func (r *Registry) Models() []string {
-	out := make([]string, 0, len(r.entries))
-	for m := range r.entries {
-		out = append(out, m)
-	}
-	sort.Strings(out)
-	return out
-}
+func (r *Registry) Models() []string { return r.store.CalibratedModels() }
 
 // Len returns the number of entries.
-func (r *Registry) Len() int { return len(r.entries) }
+func (r *Registry) Len() int { return r.store.CalibratedLen() }
 
 // Entries returns every stored entry, sorted by model — the form query
 // services serve directly as JSON.
 func (r *Registry) Entries() []RegistryEntry {
-	out := make([]RegistryEntry, 0, len(r.entries))
-	for _, m := range r.Models() {
-		out = append(out, r.entries[m])
+	models := r.store.CalibratedModels()
+	out := make([]RegistryEntry, 0, len(models))
+	for _, m := range models {
+		if e, ok := r.store.Calibration(m); ok {
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -93,7 +63,7 @@ func (r *Registry) Entries() []RegistryEntry {
 // ConfigFor returns an AcuteMon Config preloaded with the stored
 // dpre/db for the model.
 func (r *Registry) ConfigFor(model string, base Config) (Config, bool) {
-	e, ok := r.entries[model]
+	e, ok := r.store.Calibration(model)
 	if !ok {
 		return base, false
 	}
@@ -102,15 +72,12 @@ func (r *Registry) ConfigFor(model string, base Config) (Config, bool) {
 	return base, true
 }
 
-// Save serializes the registry as JSON.
+// Save serializes the registry as JSON (a plain entry array — the
+// historic -registry file format, unchanged).
 func (r *Registry) Save(w io.Writer) error {
-	entries := make([]RegistryEntry, 0, len(r.entries))
-	for _, m := range r.Models() {
-		entries = append(entries, r.entries[m])
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(entries)
+	return enc.Encode(r.Entries())
 }
 
 // LoadRegistry parses a registry from JSON, validating every entry.
@@ -131,6 +98,12 @@ func LoadRegistry(rd io.Reader) (*Registry, error) {
 // CalibrateInto runs the calibration procedure on the testbed's phone
 // and stores the result under its model name.
 func (r *Registry) CalibrateInto(tb *testbed.Testbed, opts CalibrateOptions) (RegistryEntry, error) {
+	return calibrateInto(r.store, tb, opts)
+}
+
+// calibrateInto is the one Calibrate→store bridge both registry views
+// share.
+func calibrateInto(st *puncture.Store, tb *testbed.Testbed, opts CalibrateOptions) (RegistryEntry, error) {
 	cal := Calibrate(tb, opts)
 	e := RegistryEntry{
 		Model:    tb.Phone.Profile.Model,
@@ -141,7 +114,7 @@ func (r *Registry) CalibrateInto(tb *testbed.Testbed, opts CalibrateOptions) (Re
 		Interval: cal.RecommendedInterval,
 		Samples:  len(cal.TipSamples),
 	}
-	if err := r.Put(e); err != nil {
+	if err := st.RecordCalibration(e); err != nil {
 		return e, err
 	}
 	return e, nil

@@ -1,114 +1,86 @@
 package core
 
 import (
-	"hash/fnv"
-	"sort"
-	"sync"
-
+	"repro/internal/puncture"
 	"repro/internal/testbed"
 )
 
 // ShardedRegistry is a concurrency-safe calibration database for
 // fleet-scale campaigns: many workers measuring different device models
 // concurrently look parameters up and record fresh calibrations without
-// funnelling through one global lock. Entries are partitioned across
-// shards by a hash of the model name, so contention only arises between
-// workers touching models that happen to share a shard.
+// funnelling through one global lock.
+//
+// Deprecated: ShardedRegistry is now a thin view over puncture.Store —
+// the lock-striped device-knowledge engine that fuses these calibrated
+// timers with the learned per-model overhead profiles the ingest
+// service serves. New code should hold the store directly; the view
+// remains so existing campaign and CLI wiring keeps compiling.
 type ShardedRegistry struct {
-	shards []registryShard
+	store *puncture.Store
 }
 
-type registryShard struct {
-	mu  sync.RWMutex
-	reg *Registry
-}
+// DefaultRegistryShards mirrors the knowledge store's stripe default.
+const DefaultRegistryShards = puncture.DefaultShards
 
-// DefaultRegistryShards balances footprint against contention for the
-// five-model paper inventory scaled up to a realistic device census.
-const DefaultRegistryShards = 16
-
-// NewShardedRegistry builds a registry with the given shard count
-// (values < 1 fall back to DefaultRegistryShards).
+// NewShardedRegistry builds a registry view over a fresh store (values
+// < 1 fall back to the default stripe count).
 func NewShardedRegistry(shards int) *ShardedRegistry {
-	if shards < 1 {
-		shards = DefaultRegistryShards
-	}
-	s := &ShardedRegistry{shards: make([]registryShard, shards)}
-	for i := range s.shards {
-		s.shards[i].reg = NewRegistry()
-	}
-	return s
+	return &ShardedRegistry{store: puncture.NewStore(shards)}
 }
 
-func (s *ShardedRegistry) shardFor(model string) *registryShard {
-	h := fnv.New32a()
-	h.Write([]byte(model))
-	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+// RegistryView wraps an existing device-knowledge store in the legacy
+// registry interface, so layers still speaking RegistryEntry share one
+// store with layers speaking DeviceProfile.
+func RegistryView(st *puncture.Store) *ShardedRegistry {
+	if st == nil {
+		return nil
+	}
+	return &ShardedRegistry{store: st}
 }
+
+// Store exposes the backing device-knowledge store.
+func (s *ShardedRegistry) Store() *puncture.Store { return s.store }
 
 // Lookup returns the entry for the model, if present.
 func (s *ShardedRegistry) Lookup(model string) (RegistryEntry, bool) {
-	sh := s.shardFor(model)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.reg.Get(model)
+	return s.store.Calibration(model)
 }
 
 // Record validates and stores an entry, replacing any previous one for
 // the same model.
 func (s *ShardedRegistry) Record(e RegistryEntry) error {
-	sh := s.shardFor(e.Model)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.reg.Put(e)
+	return s.store.RecordCalibration(e)
 }
 
 // ConfigFor returns base with the model's stored dpre/db applied, and
 // whether an entry was found.
 func (s *ShardedRegistry) ConfigFor(model string, base Config) (Config, bool) {
-	sh := s.shardFor(model)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.reg.ConfigFor(model, base)
-}
-
-// Len returns the total entry count across shards.
-func (s *ShardedRegistry) Len() int {
-	n := 0
-	for i := range s.shards {
-		s.shards[i].mu.RLock()
-		n += s.shards[i].reg.Len()
-		s.shards[i].mu.RUnlock()
+	e, ok := s.store.Calibration(model)
+	if !ok {
+		return base, false
 	}
-	return n
+	base.WarmupDelay = e.Warmup
+	base.BackgroundInterval = e.Interval
+	return base, true
 }
 
-// Models lists all stored models, sorted.
-func (s *ShardedRegistry) Models() []string {
-	var out []string
-	for i := range s.shards {
-		s.shards[i].mu.RLock()
-		out = append(out, s.shards[i].reg.Models()...)
-		s.shards[i].mu.RUnlock()
-	}
-	sort.Strings(out)
-	return out
-}
+// Len returns the number of calibrated models.
+func (s *ShardedRegistry) Len() int { return s.store.CalibratedLen() }
 
-// Snapshot merges all shards into a plain Registry copy, suitable for
-// Save or read-only inspection. The snapshot is consistent per shard but
-// not across shards, which is the right trade for a progress report
-// while a campaign is still writing.
+// Models lists all calibrated models, sorted.
+func (s *ShardedRegistry) Models() []string { return s.store.CalibratedModels() }
+
+// Snapshot copies the calibrations into a plain Registry, suitable for
+// Save or read-only inspection. Consistent per store stripe, which is
+// the right trade for a progress report while a campaign still writes.
 func (s *ShardedRegistry) Snapshot() *Registry {
 	out := NewRegistry()
-	for i := range s.shards {
-		s.shards[i].mu.RLock()
-		for _, m := range s.shards[i].reg.Models() {
-			if e, ok := s.shards[i].reg.Get(m); ok {
-				out.entries[m] = e
-			}
+	for _, m := range s.store.CalibratedModels() {
+		if e, ok := s.store.Calibration(m); ok {
+			// Entries came from one validated store; re-validation
+			// cannot fail.
+			out.Put(e)
 		}
-		s.shards[i].mu.RUnlock()
 	}
 	return out
 }
@@ -116,9 +88,8 @@ func (s *ShardedRegistry) Snapshot() *Registry {
 // Load bulk-inserts every entry of a plain registry (e.g. parsed from a
 // saved JSON database).
 func (s *ShardedRegistry) Load(r *Registry) error {
-	for _, m := range r.Models() {
-		e, _ := r.Get(m)
-		if err := s.Record(e); err != nil {
+	for _, e := range r.Entries() {
+		if err := s.store.RecordCalibration(e); err != nil {
 			return err
 		}
 	}
@@ -126,21 +97,8 @@ func (s *ShardedRegistry) Load(r *Registry) error {
 }
 
 // CalibrateInto runs the calibration procedure on the testbed's phone
-// and records the result. The simulation runs outside any lock; only the
-// final Record synchronizes.
+// and records the result. The simulation runs outside any lock; only
+// the final record synchronizes.
 func (s *ShardedRegistry) CalibrateInto(tb *testbed.Testbed, opts CalibrateOptions) (RegistryEntry, error) {
-	cal := Calibrate(tb, opts)
-	e := RegistryEntry{
-		Model:    tb.Phone.Profile.Model,
-		Chipset:  tb.Phone.Profile.Chipset,
-		Tip:      cal.Tip,
-		Tis:      cal.Tis,
-		Warmup:   cal.RecommendedWarmup,
-		Interval: cal.RecommendedInterval,
-		Samples:  len(cal.TipSamples),
-	}
-	if err := s.Record(e); err != nil {
-		return e, err
-	}
-	return e, nil
+	return calibrateInto(s.store, tb, opts)
 }

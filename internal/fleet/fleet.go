@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/core"
+	"repro/internal/puncture"
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -177,6 +178,15 @@ type Campaign struct {
 	// Registry, when non-nil, supplies calibrated dpre/db per model and
 	// receives fresh calibrations.
 	Registry *core.ShardedRegistry
+	// Profiles, when non-nil, is the device-knowledge store the
+	// campaign teaches: every session with extractable per-layer
+	// attribution folds its Δdu−k / Δdk−n / PSM-share means in (keyed
+	// by model and chipset family), and — when Registry is unset — a
+	// registry view over the same store receives the calibrations, so
+	// one snapshot carries everything the campaign learned. Save it
+	// with Profiles.SaveFile and merge it into a live ingestd via POST
+	// /v1/profiles (the fleet→ingest knowledge path).
+	Profiles *puncture.Store
 	// AutoCalibrate runs the training procedure once per distinct model
 	// missing from Registry before sessions start — a deterministic
 	// pre-pass (model list and calibration seeds derive from the
@@ -210,6 +220,12 @@ func Run(c Campaign) (*Report, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Profiles != nil && c.Registry == nil {
+		// One store carries both halves of the campaign's knowledge:
+		// calibrations go through the legacy registry view, attribution
+		// through session.FeedKnowledge.
+		c.Registry = core.RegistryView(c.Profiles)
 	}
 	workers := c.Workers
 	if workers <= 0 {
@@ -411,6 +427,10 @@ func runSession(c *Campaign, s Session) (SessionResult, stats.Sample) {
 			sample = append(sample, o.RTT)
 		}
 	})
+	// The unified pipeline feeds each attributing session into the
+	// campaign's knowledge store as it completes (concurrency-safe, no
+	// extra lock: the store is stripe-locked internally).
+	spec.Knowledge = c.Profiles
 	res, err := session.Run(context.Background(), spec)
 	if err != nil {
 		out.Err = err

@@ -119,7 +119,8 @@ func TestPuncturerSources(t *testing.T) {
 	p := NewPuncturer(reg, 0)
 
 	attributed := Summary{
-		Device: "Google Nexus 5", Sent: 2, RTTs: []int64{int64(40 * time.Millisecond)},
+		Device: "Google Nexus 5", Chipset: "BCM4339",
+		Sent: 2, RTTs: []int64{int64(40 * time.Millisecond)},
 		LayersOK:       true,
 		UserOverheadNS: int64(2 * time.Millisecond),
 		SDIOOverheadNS: int64(3 * time.Millisecond),
@@ -136,10 +137,22 @@ func TestPuncturerSources(t *testing.T) {
 		t.Fatalf("learned: %v/%v", corr, src)
 	}
 
+	// An unknown model reporting a known chipset rides the family rung;
+	// with nothing but the model name it falls to the global prior —
+	// both rungs learned from the attributing Nexus 5 session above.
+	sibling := Summary{Device: "Brand New Handset", Chipset: "BCM4339", Sent: 1}
+	if corr, src = p.Correction(&sibling); src != SourceFamily || corr != 10*time.Millisecond {
+		t.Fatalf("family: %v/%v", corr, src)
+	}
 	unknown := Summary{Device: "Mystery Phone", Sent: 1}
-	corr, src = p.Correction(&unknown)
-	if src != SourceNone || corr != 0 {
-		t.Fatalf("unknown: %v/%v", corr, src)
+	if corr, src = p.Correction(&unknown); src != SourceGlobal || corr != 10*time.Millisecond {
+		t.Fatalf("global: %v/%v", corr, src)
+	}
+
+	// On an empty store nothing corrects at all.
+	empty := NewPuncturer(nil, 1)
+	if corr, src = empty.Correction(&unknown); src != SourceNone || corr != 0 {
+		t.Fatalf("empty store: %v/%v", corr, src)
 	}
 
 	if p.Calibrated("Google Nexus 5") {

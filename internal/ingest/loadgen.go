@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/android"
 	"repro/internal/fleet"
 	"repro/internal/stats"
 )
@@ -103,6 +104,7 @@ func (lg *LoadGen) Send(ctx context.Context, batch []Summary) error {
 func SummaryFromSession(r *fleet.SessionResult, sample stats.Sample, scenario string, timeMS int64) Summary {
 	s := Summary{
 		Device:         r.Session.Phone,
+		Chipset:        chipsetFor(r.Session.Phone),
 		Group:          r.Session.Label,
 		Scenario:       scenario,
 		TimeMS:         timeMS,
@@ -125,6 +127,16 @@ func SummaryFromSession(r *fleet.SessionResult, sample stats.Sample, scenario st
 		s.PSMInflationNS = int64(r.PSMInflation)
 	}
 	return s
+}
+
+// chipsetFor resolves the WiFi chipset family a real collector would
+// read from the device build — on the wire it lets the server's family
+// fallback correct models it has never seen attribute.
+func chipsetFor(phone string) string {
+	if prof, ok := android.ProfileByName(phone); ok {
+		return prof.Chipset
+	}
+	return ""
 }
 
 // StreamCampaign runs the fleet campaign with every finished session

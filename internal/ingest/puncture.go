@@ -2,44 +2,40 @@ package ingest
 
 import (
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/puncture"
 )
 
 // CorrectionSource says where a summary's puncturing correction came
-// from.
-type CorrectionSource uint8
+// from. It is the shared puncture.Source ladder — the ingest-local enum
+// this used to be is gone, so fleet reports, ingest cells, and the
+// knowledge store all speak one provenance vocabulary.
+type CorrectionSource = puncture.Source
 
 const (
-	// SourceNone: nothing known about the model yet; raw == corrected.
-	SourceNone CorrectionSource = iota
+	// SourceNone: nothing known about the model, its chipset family, or
+	// the fleet at large; raw == corrected.
+	SourceNone = puncture.SourceNone
 	// SourceReported: the device shipped its own layer attribution
 	// (Δdu−k, Δdk−n, PSM share) and the correction is its session means.
-	SourceReported
-	// SourceLearned: the device shipped no attribution, so the
-	// correction is the model-level running mean learned from peers of
-	// the same model that did.
-	SourceLearned
+	SourceReported = puncture.SourceReported
+	// SourceLearned: the correction is the model-level profile learned
+	// from attributing peers of the same model.
+	SourceLearned = puncture.SourceLearned
+	// SourceFamily: the model is unknown but its WiFi chipset family
+	// has attributing members; their aggregate corrects.
+	SourceFamily = puncture.SourceFamily
+	// SourceGlobal: model and family unknown; the global prior over
+	// every attributing session corrects.
+	SourceGlobal = puncture.SourceGlobal
 )
 
-func (s CorrectionSource) String() string {
-	switch s {
-	case SourceReported:
-		return "reported"
-	case SourceLearned:
-		return "learned"
-	default:
-		return "none"
-	}
-}
-
-// ModelOverhead is the learned per-model inflation profile: mergeable
-// moments over the per-session mean user-space, host-bus, and PSM
-// shares reported by attributing sessions of that model.
+// ModelOverhead is the learned per-model inflation profile served under
+// /models — a compatibility projection of the knowledge store's
+// DeviceProfile (which /v1/profiles serves whole).
 type ModelOverhead struct {
 	Model string      `json:"model"`
 	User  agg.Moments `json:"user_overhead"`
@@ -47,7 +43,8 @@ type ModelOverhead struct {
 	PSM   agg.Moments `json:"psm_inflation"`
 }
 
-// Correction returns the model's mean total per-probe correction.
+// Correction returns the model's mean total per-probe correction,
+// clamped at ≥ 0.
 func (m *ModelOverhead) Correction() time.Duration {
 	c := time.Duration(m.User.Mean + m.SDIO.Mean + m.PSM.Mean)
 	if c < 0 {
@@ -56,111 +53,88 @@ func (m *ModelOverhead) Correction() time.Duration {
 	return c
 }
 
-// Puncturer turns raw reported RTTs into punctured ones. It consults
-// the calibration database (which models have server-side Tis/Tip
-// entries — the paper's §4.1 configuration store) and maintains a
-// lock-striped learned overhead table per model, so sessions that can
-// attribute their own inflation teach the correction applied to
-// sessions that cannot.
+// MaxLearnedModels bounds the learned profile table (the knowledge
+// store's default cap): at the cap, unseen models stop minting profiles
+// — their attribution still teaches the chipset-family and global
+// aggregates, and their own reported correction still applies — and
+// every refusal is counted (profile_rejections in /stats and /healthz).
+const MaxLearnedModels = puncture.DefaultMaxModels
+
+// DefaultPunctureShards matches the knowledge store's striping default.
+const DefaultPunctureShards = puncture.DefaultShards
+
+// Puncturer turns raw reported RTTs into punctured ones. It rides the
+// unified device-knowledge store: sessions that can attribute their own
+// inflation teach the store, and sessions that cannot are corrected by
+// walking its resolution ladder (learned model profile → chipset-family
+// fallback → global prior). The same store carries the calibration
+// database (which models have server-side Tis/Tip entries — the paper's
+// §4.1 configuration store), so learned knowledge persists wherever the
+// store is snapshotted.
 type Puncturer struct {
-	registry *core.ShardedRegistry
-	models   atomic.Int64
-	shards   []punctureShard
+	store *puncture.Store
 }
 
-type punctureShard struct {
-	mu     sync.Mutex
-	models map[string]*ModelOverhead
-}
-
-// DefaultPunctureShards matches the registry's striping default.
-const DefaultPunctureShards = 16
-
-// MaxLearnedModels bounds the learned table: a real device census is a
-// few thousand models, so anything past this is key-cardinality abuse.
-// At the cap, unseen models stop teaching the table (their own reported
-// correction still applies) rather than growing it until OOM.
-const MaxLearnedModels = 4096
-
-// NewPuncturer builds a puncturer backed by an optional calibration
-// registry (shards < 1 selects the default stripe count).
+// NewPuncturer builds a puncturer. When reg is non-nil the puncturer
+// rides reg's backing knowledge store (calibrations and learned
+// overheads live side by side); otherwise it builds a fresh store with
+// the given stripe count (< 1 selects the default).
 func NewPuncturer(reg *core.ShardedRegistry, shards int) *Puncturer {
-	if shards < 1 {
-		shards = DefaultPunctureShards
+	if reg != nil {
+		return &Puncturer{store: reg.Store()}
 	}
-	p := &Puncturer{registry: reg, shards: make([]punctureShard, shards)}
-	for i := range p.shards {
-		p.shards[i].models = make(map[string]*ModelOverhead)
-	}
-	return p
+	return &Puncturer{store: puncture.NewStore(shards)}
 }
 
-func (p *Puncturer) shardFor(model string) *punctureShard {
-	h := fnv1a64(fnvOffset64, model)
-	return &p.shards[h%uint64(len(p.shards))]
+// NewPuncturerStore builds a puncturer over an existing knowledge
+// store (nil builds a fresh default store).
+func NewPuncturerStore(st *puncture.Store) *Puncturer {
+	if st == nil {
+		st = puncture.NewStore(0)
+	}
+	return &Puncturer{store: st}
 }
+
+// Store exposes the backing device-knowledge store.
+func (p *Puncturer) Store() *puncture.Store { return p.store }
 
 // Correction computes the summary's per-probe puncturing correction
 // and, when the summary carries its own attribution, folds that
-// attribution into the model's learned profile under the stripe lock.
+// attribution into the store (model profile, chipset family, global
+// prior). The result is clamped at ≥ 0 on every rung, so an
+// over-learned correction can never mint negative latencies.
 func (p *Puncturer) Correction(s *Summary) (time.Duration, CorrectionSource) {
 	if s.LayersOK {
 		corr := time.Duration(s.UserOverheadNS + s.SDIOOverheadNS + s.PSMInflationNS)
-		sh := p.shardFor(s.Device)
-		sh.mu.Lock()
-		m, ok := sh.models[s.Device]
-		if !ok && p.models.Load() < MaxLearnedModels {
-			m = &ModelOverhead{Model: s.Device}
-			sh.models[s.Device] = m
-			p.models.Add(1)
-		}
-		if m != nil {
-			m.User.Add(float64(s.UserOverheadNS))
-			m.SDIO.Add(float64(s.SDIOOverheadNS))
-			m.PSM.Add(float64(s.PSMInflationNS))
-		}
-		sh.mu.Unlock()
+		p.store.RecordAttribution(s.Device, s.Chipset, s.UserOverheadNS, s.SDIOOverheadNS, s.PSMInflationNS)
+		p.store.CountReported()
 		if corr < 0 {
 			corr = 0
 		}
 		return corr, SourceReported
 	}
-	sh := p.shardFor(s.Device)
-	sh.mu.Lock()
-	m, ok := sh.models[s.Device]
-	var corr time.Duration
-	if ok {
-		corr = m.Correction()
-	}
-	sh.mu.Unlock()
-	if ok {
-		return corr, SourceLearned
-	}
-	return 0, SourceNone
+	return p.store.Resolve(s.Device, s.Chipset)
 }
 
-// Calibrated reports whether the calibration database knows the model.
-func (p *Puncturer) Calibrated(model string) bool {
-	if p.registry == nil {
-		return false
-	}
-	_, ok := p.registry.Lookup(model)
-	return ok
-}
+// Calibrated reports whether the knowledge store has calibrated timers
+// for the model.
+func (p *Puncturer) Calibrated(model string) bool { return p.store.Calibrated(model) }
 
-// Registry exposes the backing calibration database (may be nil).
-func (p *Puncturer) Registry() *core.ShardedRegistry { return p.registry }
+// Registry exposes the calibration view over the backing store.
+func (p *Puncturer) Registry() *core.ShardedRegistry { return core.RegistryView(p.store) }
 
-// Overheads snapshots the learned table, sorted by model.
+// Overheads snapshots the learned table, sorted by model — the /models
+// compatibility projection (models that only have calibrations, never
+// attributions, are omitted, matching the historic learned table).
 func (p *Puncturer) Overheads() []ModelOverhead {
-	var out []ModelOverhead
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		for _, m := range sh.models {
-			out = append(out, *m)
+	profiles := p.store.Profiles()
+	out := make([]ModelOverhead, 0, len(profiles))
+	for i := range profiles {
+		dp := &profiles[i]
+		if dp.AttributionSessions() == 0 {
+			continue
 		}
-		sh.mu.Unlock()
+		out = append(out, ModelOverhead{Model: dp.Model, User: dp.User, SDIO: dp.SDIO, PSM: dp.PSM})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
 	return out

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/puncture"
 	"repro/internal/report"
 )
 
@@ -53,8 +55,24 @@ type Config struct {
 	// time bucketing is off.
 	Retention time.Duration
 	// Registry, when non-nil, is the calibration database consulted per
-	// device model and served under /models.
+	// device model and served under /models. Its backing knowledge
+	// store becomes the server's device-knowledge store, so learned
+	// overheads and calibrations live side by side.
 	Registry *core.ShardedRegistry
+	// Profiles, when non-nil, is the device-knowledge store the server
+	// rides (takes precedence over Registry's backing store). Served
+	// whole under /v1/profiles; fleet deltas POSTed there merge into it.
+	Profiles *puncture.Store
+	// ProfilesPath, when set, persists the knowledge store: loaded (and
+	// merged into the store) on boot if the file exists, snapshotted
+	// atomically every ProfilesInterval, and saved once more on
+	// Shutdown — so an ingestd restart preserves the learned overhead
+	// table bit-for-bit.
+	ProfilesPath string
+	// ProfilesInterval is the periodic snapshot cadence when
+	// ProfilesPath is set (0 → 1 minute; negative disables the periodic
+	// saver, keeping only the load-on-boot and save-on-drain).
+	ProfilesInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -82,6 +100,9 @@ func (c *Config) fill() {
 	if c.Retention == 0 {
 		c.Retention = 24 * time.Hour
 	}
+	if c.ProfilesInterval == 0 {
+		c.ProfilesInterval = time.Minute
+	}
 }
 
 // Event-time clamp horizon: a phone's clock may drift or a batch may
@@ -104,6 +125,9 @@ type Metrics struct {
 	BadBatches        atomic.Int64 // malformed 400s
 	OversizedBatches  atomic.Int64 // 413s (client should split and retry)
 	PrunedCells       atomic.Int64 // windows removed by retention
+	ProfileMerges     atomic.Int64 // fleet deltas accepted at POST /v1/profiles
+	ProfileSaves      atomic.Int64 // knowledge snapshots written to disk
+	ProfileSaveErrors atomic.Int64
 }
 
 // Server is a running ingest + query service.
@@ -125,6 +149,7 @@ type Server struct {
 	closeOnce   sync.Once
 	janitorStop chan struct{}
 	janitorOnce sync.Once
+	persistWG   sync.WaitGroup
 	started     time.Time
 	draining    atomic.Bool
 	servErr     chan error
@@ -143,10 +168,30 @@ func Start(cfg Config) (*Server, error) {
 	if window < 0 {
 		window = 0
 	}
+	// One knowledge store serves the whole daemon: an explicit Profiles
+	// store wins, else the Registry's backing store, else a fresh one.
+	knowledge := cfg.Profiles
+	if knowledge == nil && cfg.Registry != nil {
+		knowledge = cfg.Registry.Store()
+	}
+	if knowledge == nil {
+		knowledge = puncture.NewStore(cfg.PunctureShards)
+	}
+	if cfg.ProfilesPath != "" {
+		snap, found, err := loadProfiles(cfg.ProfilesPath)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if err := knowledge.MergeSnapshot(snap); err != nil {
+				return nil, fmt.Errorf("ingest: profiles %s: %w", cfg.ProfilesPath, err)
+			}
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		store:       NewStore(window, cfg.StoreShards),
-		punc:        NewPuncturer(cfg.Registry, cfg.PunctureShards),
+		punc:        NewPuncturerStore(knowledge),
 		queue:       make(chan []Summary, cfg.QueueDepth),
 		janitorStop: make(chan struct{}),
 		started:     time.Now(),
@@ -162,6 +207,7 @@ func Start(cfg Config) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/profiles", s.handleProfiles)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -179,6 +225,10 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if window > 0 && cfg.Retention > 0 {
 		go s.janitor(window, cfg.Retention)
+	}
+	if cfg.ProfilesPath != "" && cfg.ProfilesInterval > 0 {
+		s.persistWG.Add(1)
+		go s.profilesPersister(cfg.ProfilesInterval)
 	}
 	go func() {
 		if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
@@ -211,6 +261,52 @@ func (s *Server) janitor(window, retention time.Duration) {
 	}
 }
 
+// loadProfiles reads a knowledge snapshot; a missing file is a clean
+// first boot.
+func loadProfiles(path string) (*puncture.Snapshot, bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ingest: profiles: %w", err)
+	}
+	defer f.Close()
+	snap, err := puncture.ReadSnapshot(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("ingest: profiles %s: %w", path, err)
+	}
+	return snap, true, nil
+}
+
+// profilesPersister snapshots the knowledge store atomically on a
+// cadence, so a crash loses at most one interval of learning; the
+// graceful path saves once more after the drain.
+func (s *Server) profilesPersister(interval time.Duration) {
+	defer s.persistWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.saveProfiles()
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+func (s *Server) saveProfiles() {
+	if s.cfg.ProfilesPath == "" {
+		return
+	}
+	if err := s.punc.Store().SaveFile(s.cfg.ProfilesPath); err != nil {
+		s.metrics.ProfileSaveErrors.Add(1)
+		return
+	}
+	s.metrics.ProfileSaves.Add(1)
+}
+
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -236,6 +332,14 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"oversized_batches":  s.metrics.OversizedBatches.Load(),
 		"dropped_summaries":  s.store.Dropped(),
 		"pruned_cells":       s.metrics.PrunedCells.Load(),
+		// Knowledge-store accounting: learned profiles live in the
+		// store, mints refused at the model cap are counted, not
+		// silently dropped.
+		"learned_models":      int64(s.punc.Store().Len()),
+		"profile_rejections":  s.punc.Store().Rejected(),
+		"profile_merges":      s.metrics.ProfileMerges.Load(),
+		"profile_saves":       s.metrics.ProfileSaves.Load(),
+		"profile_save_errors": s.metrics.ProfileSaveErrors.Load(),
 	}
 }
 
@@ -287,6 +391,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = serr
 		}
 	default:
+	}
+	// Persist the knowledge store after the drain, so everything the
+	// final batches taught survives the restart. The periodic persister
+	// is joined first: a slow in-flight periodic save finishing after
+	// this one would otherwise rename a stale pre-drain snapshot over
+	// the final state.
+	s.persistWG.Wait()
+	if s.cfg.ProfilesPath != "" {
+		if serr := s.punc.Store().SaveFile(s.cfg.ProfilesPath); serr != nil {
+			s.metrics.ProfileSaveErrors.Add(1)
+			if err == nil {
+				err = serr
+			}
+		} else {
+			s.metrics.ProfileSaves.Add(1)
+		}
 	}
 	return err
 }
@@ -449,6 +569,8 @@ type CellStats struct {
 	CalibratedSessions int64      `json:"calibrated_sessions"`
 	ReportedSessions   int64      `json:"reported_sessions"`
 	LearnedSessions    int64      `json:"learned_sessions"`
+	FamilySessions     int64      `json:"family_sessions,omitempty"`
+	GlobalSessions     int64      `json:"global_sessions,omitempty"`
 	Uncorrected        int64      `json:"uncorrected_sessions"`
 }
 
@@ -473,15 +595,21 @@ func StatsFor(c *Cell) CellStats {
 		CalibratedSessions: c.CalibratedSessions,
 		ReportedSessions:   c.ReportedSessions,
 		LearnedSessions:    c.LearnedSessions,
+		FamilySessions:     c.FamilySessions,
+		GlobalSessions:     c.GlobalSessions,
 		Uncorrected:        c.UncorrectedSessions,
 	}
 }
 
-// StatsResponse is the /stats JSON payload.
+// StatsResponse is the /stats JSON payload. Counters carries the
+// server's operational counters (the /healthz set), including the
+// knowledge-store profile_rejections — models the learned-table cap
+// refused are visible here instead of silently dropped.
 type StatsResponse struct {
-	Rollup   Rollup      `json:"rollup"`
-	WindowMS int64       `json:"window_ms"`
-	Cells    []CellStats `json:"cells"`
+	Rollup   Rollup           `json:"rollup"`
+	WindowMS int64            `json:"window_ms"`
+	Cells    []CellStats      `json:"cells"`
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // StatsQuery derives the /stats view. The by=cell path computes each
@@ -530,7 +658,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	resp := StatsResponse{Rollup: rollup, WindowMS: s.store.windowMS, Cells: cellStats}
+	resp := StatsResponse{Rollup: rollup, WindowMS: s.store.windowMS, Cells: cellStats,
+		Counters: s.MetricsSnapshot()}
 	if strings.EqualFold(r.URL.Query().Get("format"), "table") {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, RenderStats(resp))
@@ -556,7 +685,7 @@ func RenderStats(resp StatsResponse) string {
 		"Cell", "Sessions", "Probes", "Loss",
 		"raw mean±sd", "raw p50", "raw p90", "raw p99",
 		"punct mean", "p50", "p90", "p99",
-		">range r/p", "corr", "src rep/lrn/none", "PSM act.")
+		">range r/p", "corr", "src r/l/f/g/n", "PSM act.")
 	f2 := func(f float64) string { return fmt.Sprintf("%.2f", f) }
 	capMS := float64(agg.DurationHistHi) / float64(time.Millisecond)
 	fp := func(tr TrackStats, v float64) string {
@@ -577,7 +706,8 @@ func RenderStats(resp StatsResponse) string {
 			fp(c.Punctured, c.Punctured.P50MS), fp(c.Punctured, c.Punctured.P90MS), fp(c.Punctured, c.Punctured.P99MS),
 			fmt.Sprintf("%d/%d", c.Raw.HistOver, c.Punctured.HistOver),
 			f2(c.CorrectionMeanMS),
-			fmt.Sprintf("%d/%d/%d", c.ReportedSessions, c.LearnedSessions, c.Uncorrected),
+			fmt.Sprintf("%d/%d/%d/%d/%d", c.ReportedSessions, c.LearnedSessions,
+				c.FamilySessions, c.GlobalSessions, c.Uncorrected),
 			fmt.Sprintf("%d/%d", c.PSMActiveSessions, c.Sessions))
 	}
 	return t.String()
@@ -618,14 +748,75 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Both halves come from the one knowledge store: the calibration
+	// view and the learned-overhead projection.
 	resp := ModelsResponse{Learned: s.punc.Overheads()}
-	if s.cfg.Registry != nil {
-		resp.Registry = s.cfg.Registry.Snapshot().Entries()
+	if reg := s.punc.Registry(); reg != nil {
+		resp.Registry = reg.Snapshot().Entries()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+}
+
+// ProfilesResponse is the /v1/profiles GET payload: the whole
+// device-knowledge store — per-model calibrated timers + learned
+// overheads + sample counts (the snapshot), plus how many corrections
+// each resolution-ladder rung has served.
+type ProfilesResponse struct {
+	*puncture.Snapshot
+	Models   int              `json:"models"`
+	Resolved map[string]int64 `json:"resolved_by_source"`
+}
+
+// maxProfileDeltaBytes caps a POSTed fleet delta; a snapshot of the
+// full default model cap fits comfortably.
+const maxProfileDeltaBytes = 64 << 20
+
+// handleProfiles serves the knowledge store (GET) and merges a fleet
+// campaign's profile delta into it (POST of a puncture.Snapshot — the
+// exact bytes `acutemon-fleet -profiles` writes).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st := s.punc.Store()
+		resp := ProfilesResponse{
+			Snapshot: st.Snapshot(),
+			Models:   st.Len(),
+			Resolved: st.ResolvedBySource(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	case http.MethodPost:
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		body := http.MaxBytesReader(w, r.Body, maxProfileDeltaBytes)
+		snap, err := puncture.ReadSnapshot(body)
+		if err != nil {
+			s.metrics.BadBatches.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.punc.Store().MergeSnapshot(snap); err != nil {
+			s.metrics.BadBatches.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.metrics.ProfileMerges.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"merged_profiles":%d,"models":%d}`+"\n", len(snap.Profiles), s.punc.Store().Len())
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

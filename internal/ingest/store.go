@@ -58,9 +58,11 @@ type Cell struct {
 	PSMActiveSessions  int64 `json:"psm_active_sessions"`
 	CalibratedSessions int64 `json:"calibrated_sessions"`
 
-	// Correction provenance counts.
+	// Correction provenance counts, one per resolution-ladder rung.
 	ReportedSessions    int64 `json:"reported_sessions"`
 	LearnedSessions     int64 `json:"learned_sessions"`
+	FamilySessions      int64 `json:"family_sessions,omitempty"`
+	GlobalSessions      int64 `json:"global_sessions,omitempty"`
 	UncorrectedSessions int64 `json:"uncorrected_sessions"`
 }
 
@@ -116,6 +118,12 @@ func (c *Cell) fold(s *Summary, corr time.Duration, src CorrectionSource) {
 		c.Correction.Add(float64(corr))
 	case SourceLearned:
 		c.LearnedSessions++
+		c.Correction.Add(float64(corr))
+	case SourceFamily:
+		c.FamilySessions++
+		c.Correction.Add(float64(corr))
+	case SourceGlobal:
+		c.GlobalSessions++
 		c.Correction.Add(float64(corr))
 	default:
 		c.UncorrectedSessions++
@@ -201,6 +209,8 @@ func (c *Cell) Merge(o *Cell) error {
 	c.CalibratedSessions += o.CalibratedSessions
 	c.ReportedSessions += o.ReportedSessions
 	c.LearnedSessions += o.LearnedSessions
+	c.FamilySessions += o.FamilySessions
+	c.GlobalSessions += o.GlobalSessions
 	c.UncorrectedSessions += o.UncorrectedSessions
 	return nil
 }

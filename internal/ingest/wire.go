@@ -31,6 +31,11 @@ import (
 type Summary struct {
 	// Device is the phone model (Table 1 name); required.
 	Device string `json:"device"`
+	// Chipset optionally names the device's WiFi chipset family. When
+	// the model itself is unknown to the knowledge store, the family
+	// aggregate learned from chipset siblings corrects the session (the
+	// resolution ladder's third rung).
+	Chipset string `json:"chipset,omitempty"`
 	// Group is the aggregation label; "" defaults to Device.
 	Group string `json:"group,omitempty"`
 	// Scenario names the campaign or deployment arm the session ran in.
@@ -99,7 +104,8 @@ func (s *Summary) Validate() error {
 	if s.Device == "" {
 		return errors.New("ingest: summary without device model")
 	}
-	if len(s.Device) > maxKeyLen || len(s.Group) > maxKeyLen || len(s.Scenario) > maxKeyLen {
+	if len(s.Device) > maxKeyLen || len(s.Group) > maxKeyLen ||
+		len(s.Scenario) > maxKeyLen || len(s.Chipset) > maxKeyLen {
 		return fmt.Errorf("ingest: %.32s…: key field exceeds %d bytes", s.Device, maxKeyLen)
 	}
 	if s.Sent < 0 || s.Lost < 0 || s.Lost > s.Sent || s.Sent > maxCountPerSummary {

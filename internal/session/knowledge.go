@@ -1,0 +1,42 @@
+package session
+
+import (
+	"repro/internal/android"
+	"repro/internal/puncture"
+)
+
+// FeedKnowledge runs the deferred capture analysis on res and folds its
+// per-layer attribution into the device-knowledge store as one learned
+// observation for the spec's phone model: Δdu−k (user-space share),
+// Δdk−n (host-bus share), and mean(dn) − path RTT (the PSM/air share) —
+// the same three quantities an attributing crowd device reports to the
+// ingest service. The chipset-family key is resolved from the phone
+// profile table so family fallback works for models the store has
+// never seen. Returns false when there was nothing to feed (nil store,
+// no result, or no extractable attribution — live and cellular
+// backends have no capture).
+func FeedKnowledge(st *puncture.Store, spec Spec, res *Result) bool {
+	if st == nil || res == nil {
+		return false
+	}
+	res.Analyze()
+	l := res.Layers
+	if l == nil || len(l.Dn) == 0 || len(l.DuK) == 0 || len(l.DkN) == 0 {
+		return false
+	}
+	phone := spec.Phone
+	if phone == "" {
+		phone = DefaultPhone
+	}
+	rtt := spec.EmulatedRTT
+	if rtt == 0 {
+		rtt = DefaultEmulatedRTT
+	}
+	chipset := ""
+	if prof, ok := android.ProfileByName(phone); ok {
+		phone, chipset = prof.Model, prof.Chipset
+	}
+	st.RecordAttribution(phone, chipset,
+		int64(l.DuK.Mean()), int64(l.DkN.Mean()), int64(l.Dn.Mean()-rtt))
+	return true
+}

@@ -165,6 +165,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if res != nil {
 		res.Backend, res.Method = b.Name(), m.Name()
 	}
+	if err == nil && spec.Knowledge != nil {
+		// Feed the completed session's attribution into the
+		// device-knowledge store. Cancelled partials are skipped — a
+		// truncated capture would teach biased overheads.
+		FeedKnowledge(spec.Knowledge, spec, res)
+	}
 	return res, err
 }
 

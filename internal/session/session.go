@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/puncture"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -143,6 +144,15 @@ type Spec struct {
 
 	// Sink, when non-nil, receives one Observation per probe.
 	Sink Sink
+
+	// Knowledge, when non-nil, receives the session's per-layer
+	// attribution after a successful run: Run analyzes the capture and
+	// folds Δdu−k / Δdk−n / PSM-share means into the device-knowledge
+	// store under the session's phone model (see FeedKnowledge). Only
+	// the sim backend has a capture to attribute; elsewhere this is a
+	// no-op. Callers that skip Knowledge keep the deferred-analysis
+	// fast path.
+	Knowledge *puncture.Store
 }
 
 // Environment defaults, exported as the single source of truth: the
