@@ -2,8 +2,9 @@
 # exactly what the workflow runs.
 
 GO ?= go
+BENCH_FILE ?= BENCH_6.json
 
-.PHONY: build test race bench bench-json e2e-restart lint fmt ci
+.PHONY: build test race bench bench-json bench-gate fuzz-smoke e2e-restart lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -17,16 +18,43 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Benchmarks cmd/benchdiff gates on. Run twice: once in the 1x sweep
+# with everything else, then again at -benchtime=1s so the gated
+# numbers are averaged over enough iterations to survive a 30%
+# threshold (a single-iteration loopback figure swings ±40% run to
+# run). benchfmt keys by name and keeps the last occurrence, so the
+# steadier pass wins in $(BENCH_FILE).
+BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge
+
 # Machine-readable benchmark record for the perf trajectory (ns/op,
-# summaries/sec, and now the knowledge store's correction-lookup and
-# snapshot/merge benchmarks), archived as BENCH_5.json by the CI bench
-# job. Two steps so a go test failure stops make instead of hiding in a
-# pipe; CI runs this exact target, keeping local and CI artifacts
-# identical.
+# summaries/sec across all three wires, decode costs, and the
+# knowledge-store lookup/merge benchmarks), archived as $(BENCH_FILE)
+# by the CI bench job. Separate steps so a go test failure stops make
+# instead of hiding in a pipe; CI runs this exact target, keeping local
+# and CI artifacts identical.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-out.txt
-	$(GO) run ./cmd/bench2json < bench-out.txt > BENCH_5.json
-	@echo "wrote BENCH_5.json"
+	$(GO) test -bench='$(BENCH_WATCHED)' -benchtime=1s -run='^$$' \
+		./internal/ingest ./internal/puncture ./internal/agg >> bench-out.txt
+	$(GO) run ./cmd/bench2json < bench-out.txt > $(BENCH_FILE)
+	@echo "wrote $(BENCH_FILE)"
+
+# Bench-regression gate: diff the fresh $(BENCH_FILE) against
+# bench-baseline.json (CI copies the committed record there *before*
+# bench-json overwrites it; locally, `cp $(BENCH_FILE)
+# bench-baseline.json` before a change does the same). benchdiff exits
+# 0 when the baseline file is absent and honors BENCHDIFF_SKIP=1, so
+# this target is safe to run unconditionally.
+bench-gate:
+	$(GO) run ./cmd/benchdiff -baseline bench-baseline.json -current $(BENCH_FILE)
+
+# 30s native-fuzz smoke on each untrusted-input decoder, starting from
+# the committed corpus in internal/ingest/testdata/fuzz. Catches
+# decoder panics and bounds-check slips on every PR without a long
+# fuzzing campaign.
+fuzz-smoke:
+	$(GO) test ./internal/ingest/ -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime=30s
+	$(GO) test ./internal/ingest/ -run '^$$' -fuzz '^FuzzDecodeBinaryBatch$$' -fuzztime=30s
 
 # The ingestd persistence e2e in isolation: kill → reboot → learned
 # overhead table identical, plus the fleet→ingest delta merge. CI runs
@@ -44,4 +72,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race bench-json
+ci: build lint race bench-json bench-gate

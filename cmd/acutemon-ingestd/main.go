@@ -1,18 +1,20 @@
 // Command acutemon-ingestd runs the crowd-scale ingestion + live
 // puncturing service: devices POST per-session measurement summaries
-// (JSON lines, batched) to /v1/ingest; every reported RTT is punctured
-// online against the calibration database and folded — raw and
-// corrected side by side — into time-windowed aggregates served at
-// /stats, /models, and /healthz.
+// (JSON lines or the framed binary wire, batched) to /v1/ingest — or
+// stream binary frames to the raw TCP listener (-tcp-addr); every
+// reported RTT is punctured online against the calibration database and
+// folded — raw and corrected side by side — into time-windowed
+// aggregates served at /stats, /models, and /healthz.
 //
 // Usage:
 //
-//	acutemon-ingestd [-addr 127.0.0.1:7777] [-window 1m] [-queue 256]
-//	                 [-fold-workers 0] [-max-conns 512] [-registry fleet.json]
+//	acutemon-ingestd [-addr 127.0.0.1:7777] [-tcp-addr host:port] [-window 1m]
+//	                 [-queue 256] [-fold-workers 0] [-max-conns 512]
+//	                 [-registry fleet.json]
 //	acutemon-ingestd -loadgen [-scenario device-mix] [-sessions 1000]
 //	                 [-probes 100] [-rtt 30ms] [-seed 1] [-batch 100]
-//	                 [-workers 0] [-target http://host:port]
-//	acutemon-ingestd -replay report.json [-target http://host:port]
+//	                 [-wire json|binary|tcp] [-workers 0] [-target http://host:port]
+//	acutemon-ingestd -replay report.json [-wire json|binary|tcp] [-target http://host:port]
 //
 // The default mode serves until SIGINT/SIGTERM, then drains in-flight
 // batches and prints the final aggregate table. -loadgen demonstrates
@@ -47,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 256, "batch queue depth (full queue sheds with 503)")
 	foldWorkers := flag.Int("fold-workers", 0, "fold worker count (0 = GOMAXPROCS)")
 	maxConns := flag.Int("max-conns", 512, "max concurrently accepted connections")
+	tcpAddr := flag.String("tcp-addr", "", "raw binary-wire TCP listen address (empty disables; see README Wire formats)")
 	maxCells := flag.Int64("max-cells", 0, "distinct aggregation cell cap (0 = default, negative = uncapped)")
 	retention := flag.Duration("retention", 0, "prune windows older than this (0 = 24h, negative = keep forever)")
 	registryPath := flag.String("registry", "", "calibration database JSON to serve and puncture against")
@@ -61,7 +64,8 @@ func main() {
 	rtt := flag.Duration("rtt", 30*time.Millisecond, "loadgen base emulated path RTT")
 	seed := flag.Int64("seed", 1, "loadgen campaign seed")
 	batch := flag.Int("batch", 100, "loadgen summaries per POST")
-	target := flag.String("target", "", "loadgen/replay target base URL (default: embedded loopback server)")
+	wire := flag.String("wire", ingest.WireJSON, "loadgen/replay wire: json, binary (HTTP), or tcp (raw binary)")
+	target := flag.String("target", "", "loadgen/replay target base URL — host:port with -wire=tcp (default: embedded loopback server)")
 	replayPath := flag.String("replay", "", "replay a recorded campaign report (cmd/acutemon-fleet -json) through the wire")
 	flag.Parse()
 
@@ -92,6 +96,7 @@ func main() {
 
 	cfg := ingest.Config{
 		Addr:             *addr,
+		TCPAddr:          *tcpAddr,
 		Window:           *window,
 		QueueDepth:       *queue,
 		FoldWorkers:      *foldWorkers,
@@ -108,11 +113,12 @@ func main() {
 
 	switch {
 	case *replayPath != "":
-		runReplay(ctx, cfg, *replayPath, *target, *batch)
+		runReplay(ctx, cfg, *replayPath, *target, *batch, *wire)
 	case *loadgen:
 		runLoadgen(ctx, cfg, loadgenSpec{
 			scenario: *scenario, sessions: *sessions, workers: *workers,
-			probes: *probes, rtt: *rtt, seed: *seed, batch: *batch, target: *target,
+			probes: *probes, rtt: *rtt, seed: *seed, batch: *batch,
+			target: *target, wire: *wire,
 		})
 	default:
 		serve(ctx, cfg)
@@ -173,6 +179,7 @@ type loadgenSpec struct {
 	seed     int64
 	batch    int
 	target   string
+	wire     string
 }
 
 // runLoadgen streams a seeded campaign through the real wire protocol
@@ -195,9 +202,13 @@ func runLoadgen(ctx context.Context, cfg ingest.Config, spec loadgenSpec) {
 	}
 
 	url, embedded := spec.target, (*ingest.Server)(nil)
-	lg := &ingest.LoadGen{URL: url, BatchSize: spec.batch}
+	lg := &ingest.LoadGen{URL: url, Wire: spec.wire, BatchSize: spec.batch}
+	defer lg.Close()
 	if url == "" {
 		cfg.Addr = "127.0.0.1:0"
+		if spec.wire == ingest.WireTCP && cfg.TCPAddr == "" {
+			cfg.TCPAddr = "127.0.0.1:0"
+		}
 		cfg.Window = -1 // one window, so the comparison is exact
 		s, err := ingest.Start(cfg)
 		if err != nil {
@@ -205,11 +216,14 @@ func runLoadgen(ctx context.Context, cfg ingest.Config, spec loadgenSpec) {
 		}
 		embedded = s
 		lg.URL = s.URL()
+		if spec.wire == ingest.WireTCP {
+			lg.URL = s.TCPAddr()
+		}
 		// Pin event time only for the embedded determinism check; a
 		// remote target gets real wall-clock stamps so its windows form
 		// a live time series.
 		lg.TimeMS = 1
-		fmt.Printf("embedded ingestd on %s\n", s.Addr())
+		fmt.Printf("embedded ingestd on %s (%s wire)\n", lg.URL, spec.wire)
 	}
 	start := time.Now()
 	rep, err := lg.StreamCampaign(ctx, campaign)
@@ -261,7 +275,7 @@ func verify(s *ingest.Server, rep *fleet.Report) {
 }
 
 // runReplay streams a recorded campaign report through the wire.
-func runReplay(ctx context.Context, cfg ingest.Config, path, target string, batch int) {
+func runReplay(ctx context.Context, cfg ingest.Config, path, target string, batch int, wire string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("replay: %v", err)
@@ -275,15 +289,22 @@ func runReplay(ctx context.Context, cfg ingest.Config, path, target string, batc
 	url, embedded := target, (*ingest.Server)(nil)
 	if url == "" {
 		cfg.Addr = "127.0.0.1:0"
+		if wire == ingest.WireTCP && cfg.TCPAddr == "" {
+			cfg.TCPAddr = "127.0.0.1:0"
+		}
 		s, err := ingest.Start(cfg)
 		if err != nil {
 			fatal("%v", err)
 		}
 		embedded = s
 		url = s.URL()
-		fmt.Printf("embedded ingestd on %s\n", s.Addr())
+		if wire == ingest.WireTCP {
+			url = s.TCPAddr()
+		}
+		fmt.Printf("embedded ingestd on %s (%s wire)\n", url, wire)
 	}
-	lg := &ingest.LoadGen{URL: url, BatchSize: batch}
+	lg := &ingest.LoadGen{URL: url, Wire: wire, BatchSize: batch}
+	defer lg.Close()
 	posted, err := lg.ReplayReport(ctx, rep)
 	if err != nil {
 		fatal("replay: %v", err)

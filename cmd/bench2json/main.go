@@ -1,7 +1,9 @@
 // Command bench2json converts `go test -bench` text output on stdin
 // into a JSON document on stdout, so CI can archive benchmark runs
 // (BENCH_N.json artifacts) and trend-track ns/op and summaries/sec
-// across PRs without scraping logs.
+// across PRs without scraping logs. The schema and parser live in
+// internal/benchfmt, shared with cmd/benchdiff which gates CI on the
+// same records.
 //
 // Usage:
 //
@@ -9,56 +11,16 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Pkg        string             `json:"pkg"`
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Output is the whole document.
-type Output struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	Failures   []string    `json:"failures,omitempty"`
-}
-
 func main() {
-	out := Output{Benchmarks: []Benchmark{}}
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "FAIL"):
-			out.Failures = append(out.Failures, strings.TrimSpace(line))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBench(pkg, line); ok {
-				out.Benchmarks = append(out.Benchmarks, b)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	out, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
@@ -71,27 +33,4 @@ func main() {
 	if len(out.Failures) > 0 {
 		os.Exit(1)
 	}
-}
-
-// parseBench parses "BenchmarkName-8  3550  670815 ns/op  149072
-// summaries/sec" into name, iteration count, and value/unit metric
-// pairs.
-func parseBench(pkg, line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Pkg: pkg, Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	return b, true
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func bench(pkg, name string, metrics map[string]float64) benchfmt.Benchmark {
+	return benchfmt.Benchmark{Pkg: pkg, Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffGate(t *testing.T) {
+	baseline := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
+		bench("repro/internal/ingest", "BenchmarkIngestLoopback-8",
+			map[string]float64{"ns/op": 1e6, "summaries/sec": 100000}),
+		bench("repro/internal/puncture", "BenchmarkCorrectionLookup-8",
+			map[string]float64{"ns/op": 200}),
+		bench("repro/internal/agg", "BenchmarkSketchFold",
+			map[string]float64{"ns/op": 100}),
+		bench("repro/internal/fleet", "BenchmarkCampaign-8",
+			map[string]float64{"ns/op": 5e6}), // unwatched: no gate even if it tanks
+	}}
+	current := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
+		bench("repro/internal/ingest", "BenchmarkIngestLoopback-2", // different GOMAXPROCS: still keys
+			map[string]float64{"ns/op": 1e6, "summaries/sec": 60000}), // −40%: fails
+		bench("repro/internal/puncture", "BenchmarkCorrectionLookup-2",
+			map[string]float64{"ns/op": 250}), // +25%: within threshold
+		bench("repro/internal/agg", "BenchmarkSketchFold",
+			map[string]float64{"ns/op": 140}), // +40%: fails
+		bench("repro/internal/fleet", "BenchmarkCampaign-2",
+			map[string]float64{"ns/op": 50e6}),
+	}}
+	rows, warnings := diff(baseline, current, 0.30)
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 watched rows, got %d: %+v", len(rows), rows)
+	}
+	failures := map[string]bool{}
+	for _, r := range rows {
+		if r.failed {
+			failures[r.key+" "+r.metric] = true
+		}
+	}
+	if len(failures) != 2 ||
+		!failures["repro/internal/ingest.BenchmarkIngestLoopback summaries/sec"] ||
+		!failures["repro/internal/agg.BenchmarkSketchFold ns/op"] {
+		t.Fatalf("wrong failure set: %v", failures)
+	}
+}
+
+func TestDiffWarnsOnVanishedBenchmark(t *testing.T) {
+	baseline := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
+		bench("repro/internal/ingest", "BenchmarkDecodeBinaryBatch",
+			map[string]float64{"summaries/sec": 2e6}),
+	}}
+	rows, warnings := diff(baseline, &benchfmt.Output{}, 0.30)
+	if len(rows) != 0 {
+		t.Fatalf("no comparable rows expected, got %+v", rows)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("want 1 vanished-benchmark warning, got %v", warnings)
+	}
+}

@@ -1,0 +1,93 @@
+package agg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSketchBinaryRoundTrip: binary encode → decode reproduces the
+// canonical (flushed) sketch exactly, and re-encoding is byte-identical
+// — the canonical-form contract the JSON path already keeps.
+func TestSketchBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 1000, 20000} {
+		s := NewSketch(0)
+		for i := 0; i < n; i++ {
+			s.Add(rng.Float64() * 5e8)
+		}
+		raw, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Sketch
+		if err := got.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := got.Valid(); err != nil {
+			t.Fatalf("n=%d: decoded sketch invalid: %v", n, err)
+		}
+		if got.Count != s.Count || got.MinV != s.MinV || got.MaxV != s.MaxV ||
+			got.Compression != s.Compression || len(got.Centroids) != len(s.Centroids) {
+			t.Fatalf("n=%d: header mismatch: %+v vs %+v", n, got, s)
+		}
+		for i := range got.Centroids {
+			if got.Centroids[i] != s.Centroids[i] {
+				t.Fatalf("n=%d: centroid %d differs", n, i)
+			}
+		}
+		again, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, again) {
+			t.Fatalf("n=%d: re-encode not byte-identical", n)
+		}
+		// Quantiles survive the trip bit-for-bit.
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got.Quantile(q) != s.Quantile(q) {
+				t.Fatalf("n=%d: q=%g drifted", n, q)
+			}
+		}
+	}
+}
+
+// TestSketchBinaryHostile: truncations, hostile counts, and trailing
+// garbage must all error without large allocations or panics.
+func TestSketchBinaryHostile(t *testing.T) {
+	s := NewSketch(0)
+	for i := 0; i < 500; i++ {
+		s.Add(float64(i) * 1e6)
+	}
+	raw, _ := s.MarshalBinary()
+
+	// Every strict prefix is truncated somewhere and must fail.
+	for i := 0; i < len(raw); i++ {
+		var d Sketch
+		if err := d.UnmarshalBinary(raw[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", i, len(raw))
+		}
+	}
+	// Trailing garbage is rejected: the container's length prefix is the
+	// only framing, so slack would hide smuggled bytes.
+	var d Sketch
+	if err := d.UnmarshalBinary(append(append([]byte{}, raw...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Unknown version byte.
+	bad := append([]byte{}, raw...)
+	bad[0] = 99
+	if err := d.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// A centroid count past the structural cap must be refused before
+	// any allocation sized by it.
+	hostile := []byte{sketchBinaryVersion}
+	hostile = append(hostile, raw[1:1+8]...) // compression
+	hostile = append(hostile, 0x01)          // count = 1
+	hostile = append(hostile, raw[1:1+16]...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01) // huge n
+	if err := d.UnmarshalBinary(hostile); err == nil {
+		t.Fatal("hostile centroid count accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"testing"
 	"time"
@@ -33,27 +34,42 @@ func benchBatch(size, k int) []Summary {
 	return out
 }
 
-// BenchmarkIngestLoopback prices the acceptance target: session
-// summaries per second through the full loopback wire path (HTTP POST →
-// decode → queue → puncture → fold), batching enabled. The
-// summaries/sec metric counts summaries *folded into the store*, not
-// just accepted.
-func BenchmarkIngestLoopback(b *testing.B) {
+// benchLoopback prices the acceptance target on one wire: session
+// summaries per second through the full loopback path (wire → decode →
+// pipelines → puncture → fold), batching enabled. The summaries/sec
+// metric counts summaries *folded into the store*, not just accepted.
+// Identical batch content across wires keeps the JSON/binary ratio an
+// apples-to-apples read.
+func benchLoopback(b *testing.B, wire string) {
 	const batchSize = 100
-	s, err := Start(Config{Window: -1, QueueDepth: 1024})
+	cfg := Config{Window: -1, QueueDepth: 1024}
+	if wire == WireTCP {
+		cfg.TCPAddr = "127.0.0.1:0"
+	}
+	s, err := Start(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var body bytes.Buffer
-	if err := EncodeBatch(&body, benchBatch(batchSize, 20)); err != nil {
-		b.Fatal(err)
+	batch := benchBatch(batchSize, 20)
+	var raw []byte
+	contentType := "application/x-ndjson"
+	if wire == WireJSON {
+		var body bytes.Buffer
+		if err := EncodeBatch(&body, batch); err != nil {
+			b.Fatal(err)
+		}
+		raw = body.Bytes()
+	} else {
+		if raw, err = AppendBinaryBatch(nil, batch); err != nil {
+			b.Fatal(err)
+		}
+		contentType = BinaryContentType
 	}
-	raw := body.Bytes()
 	client := &http.Client{Timeout: 30 * time.Second}
 
-	post := func() error {
+	postHTTP := func() error {
 		for {
-			resp, err := client.Post(s.URL()+"/v1/ingest", "application/x-ndjson", bytes.NewReader(raw))
+			resp, err := client.Post(s.URL()+"/v1/ingest", contentType, bytes.NewReader(raw))
 			if err != nil {
 				return err
 			}
@@ -69,11 +85,43 @@ func BenchmarkIngestLoopback(b *testing.B) {
 		}
 	}
 
+	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
 	start := time.Now()
 	b.RunParallel(func(pb *testing.PB) {
+		if wire == WireTCP {
+			// One long-lived conn per worker, as a real device would hold.
+			conn, err := net.Dial("tcp", s.TCPAddr())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			var status [1]byte
+			for pb.Next() {
+				for {
+					if _, err := conn.Write(raw); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := io.ReadFull(conn, status[:]); err != nil {
+						b.Error(err)
+						return
+					}
+					if status[0] == tcpStatusAccepted {
+						break
+					}
+					if status[0] != tcpStatusBusy {
+						b.Errorf("tcp status %d", status[0])
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			return
+		}
 		for pb.Next() {
-			if err := post(); err != nil {
+			if err := postHTTP(); err != nil {
 				b.Error(err)
 				return
 			}
@@ -94,6 +142,10 @@ func BenchmarkIngestLoopback(b *testing.B) {
 	b.ReportMetric(float64(folded)/elapsed.Seconds(), "summaries/sec")
 	b.ReportMetric(float64(s.metrics.FoldedSamples.Load())/elapsed.Seconds(), "rtts/sec")
 }
+
+func BenchmarkIngestLoopback(b *testing.B)       { benchLoopback(b, WireJSON) }
+func BenchmarkIngestLoopbackBinary(b *testing.B) { benchLoopback(b, WireBinary) }
+func BenchmarkIngestLoopbackTCP(b *testing.B)    { benchLoopback(b, WireTCP) }
 
 // BenchmarkStoreFold prices the pure fold path (no HTTP, no decode) —
 // the ceiling the wire path converges to as batching amortizes
@@ -120,8 +172,46 @@ func BenchmarkDecodeBatch(b *testing.B) {
 	raw := buf.Bytes()
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeBatch(bytes.NewReader(raw), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*100/time.Since(start).Seconds(), "summaries/sec")
+}
+
+// BenchmarkDecodeBinaryBatch prices binary wire parsing — the decode
+// cost a binary-wire device buys the server out of, next to
+// BenchmarkDecodeBatch's JSON figure on the identical batch.
+func BenchmarkDecodeBinaryBatch(b *testing.B) {
+	raw, err := AppendBinaryBatch(nil, benchBatch(100, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBinaryBatch(bytes.NewReader(raw), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*100/time.Since(start).Seconds(), "summaries/sec")
+}
+
+// BenchmarkEncodeBinaryBatch prices the device-side encoder — the cost
+// a handset pays to save the upload bytes.
+func BenchmarkEncodeBinaryBatch(b *testing.B) {
+	batch := benchBatch(100, 20)
+	raw, err := AppendBinaryBatch(nil, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AppendBinaryBatch(raw[:0], batch); err != nil {
 			b.Fatal(err)
 		}
 	}

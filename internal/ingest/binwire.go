@@ -1,0 +1,520 @@
+package ingest
+
+// Binary batch wire format. JSON lines are the debuggable default, but
+// a million-device fleet posting always-on opportunistic summaries
+// (MopEye-scale) is decode-bound at the server: encoding/json burns an
+// order of magnitude more CPU per summary than the data warrants. This
+// file defines the compact framed alternative a device-side collector
+// ships when bandwidth and server CPU matter, plus its decoder — a
+// hand-rolled parser facing untrusted input, so every declared length
+// is checked against a hard cap and against the bytes actually present
+// BEFORE anything is allocated, and decode buffers are pooled so the
+// hot path allocates only what the decoded summaries themselves retain.
+//
+// Frame layout (all integers varint unless noted; see README "Wire
+// formats" for the normative description):
+//
+//	4 bytes magic "ACMB"
+//	1 byte  version (binWireVersion)
+//	uvarint summary count (≥ 1)
+//	count × summary frame:
+//	  uvarint payload length (≤ MaxBinarySummaryBytes)
+//	  payload:
+//	    1 byte flags (layers_ok | psm_active | calibrated | sketch | rtts)
+//	    4 × string: uvarint length (≤ maxKeyLen) + bytes
+//	             (device, chipset, group, scenario)
+//	    varint  time_ms (zigzag)
+//	    uvarint sent, lost, background_sent
+//	    uvarint emulated_rtt_ns
+//	    8 bytes inflation (IEEE-754 bits, little endian)
+//	    if layers_ok: varint user, sdio, psm overhead ns (zigzag)
+//	    if rtts: uvarint n (≤ maxRTTsPerSummary), uvarint rtts[0],
+//	             then n−1 × varint delta rtts[i]−rtts[i−1] (zigzag)
+//	    if sketch: uvarint length (≤ agg.MaxSketchBinaryBytes) +
+//	               agg.Sketch binary form
+//
+// RTTs are delta-coded because successive probe RTTs of one session sit
+// within a few ms of each other: the deltas fit 1–3 varint bytes where
+// the absolute nanosecond values need 4–5. Versioning rule: a decoder
+// rejects versions it does not know; additions that change the payload
+// layout bump the version byte (there are no in-payload extension
+// points — frames are cheap, versions are cheaper than ambiguity).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/agg"
+)
+
+// BinaryContentType is the Content-Type a device posts binary batches
+// with; /v1/ingest dispatches on it.
+const BinaryContentType = "application/x-acutemon-batch"
+
+const (
+	binWireVersion = 1
+
+	flagLayersOK  = 1 << 0
+	flagPSMActive = 1 << 1
+	flagCalibrate = 1 << 2
+	flagSketch    = 1 << 3
+	flagRTTs      = 1 << 4
+	flagsKnown    = flagLayersOK | flagPSMActive | flagCalibrate | flagSketch | flagRTTs
+)
+
+var binMagic = [4]byte{'A', 'C', 'M', 'B'}
+
+// MaxBinarySummaryBytes caps one summary frame's declared payload
+// length. A maximal legitimate summary — four full key strings, the RTT
+// cap's worth of worst-case varints, and a maximum-compression sketch —
+// stays under it, so the cap only ever rejects hostile frames, and a
+// frame can never make the decoder allocate more than this per summary.
+const MaxBinarySummaryBytes = 1 << 20
+
+// ErrFrameTooBig tags decode failures caused by a declared length
+// exceeding its cap — the "hostile frame" rejection distinct from plain
+// corruption, surfaced in tests and useful to callers that count them.
+var ErrFrameTooBig = errors.New("ingest: binary frame exceeds cap")
+
+// payloadPool recycles the per-summary payload read buffer: decode
+// copies strings and RTTs out into the summary, so the scratch buffer
+// itself is reusable across frames and requests.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// zigzag maps signed to unsigned so small-magnitude negatives stay
+// short varints; unzigzag inverts it.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendBinarySummary appends one summary's frame (length prefix +
+// payload) to dst. The device-side encoder is deliberately allocation-
+// light — a handset batching summaries on the radio's schedule should
+// spend its battery on the radio, not the encoder.
+func AppendBinarySummary(dst []byte, s *Summary) ([]byte, error) {
+	var flags byte
+	if s.LayersOK {
+		flags |= flagLayersOK
+	}
+	if s.PSMActive {
+		flags |= flagPSMActive
+	}
+	if s.Calibrated {
+		flags |= flagCalibrate
+	}
+	if s.Sketch != nil {
+		flags |= flagSketch
+	}
+	if len(s.RTTs) > 0 {
+		flags |= flagRTTs
+	}
+
+	// Build the payload after a placeholder so the length prefix can be
+	// written without a second buffer; lengths are small enough that
+	// re-appending the tail after the varint costs less than a copy
+	// through an intermediate.
+	payload := payloadPool.Get().(*[]byte)
+	p := (*payload)[:0]
+	p = append(p, flags)
+	for _, key := range [...]string{s.Device, s.Chipset, s.Group, s.Scenario} {
+		p = binary.AppendUvarint(p, uint64(len(key)))
+		p = append(p, key...)
+	}
+	p = binary.AppendUvarint(p, zigzag(s.TimeMS))
+	p = binary.AppendUvarint(p, uint64(s.Sent))
+	p = binary.AppendUvarint(p, uint64(s.Lost))
+	p = binary.AppendUvarint(p, uint64(s.BackgroundSent))
+	p = binary.AppendUvarint(p, uint64(s.EmulatedRTTNS))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(s.Inflation))
+	if s.LayersOK {
+		p = binary.AppendUvarint(p, zigzag(s.UserOverheadNS))
+		p = binary.AppendUvarint(p, zigzag(s.SDIOOverheadNS))
+		p = binary.AppendUvarint(p, zigzag(s.PSMInflationNS))
+	}
+	if len(s.RTTs) > 0 {
+		p = binary.AppendUvarint(p, uint64(len(s.RTTs)))
+		p = binary.AppendUvarint(p, uint64(s.RTTs[0]))
+		for i := 1; i < len(s.RTTs); i++ {
+			p = binary.AppendUvarint(p, zigzag(s.RTTs[i]-s.RTTs[i-1]))
+		}
+	}
+	if s.Sketch != nil {
+		blob := s.Sketch.AppendBinary(nil)
+		p = binary.AppendUvarint(p, uint64(len(blob)))
+		p = append(p, blob...)
+	}
+
+	var err error
+	if len(p) > MaxBinarySummaryBytes {
+		err = fmt.Errorf("%w: encoded summary is %d bytes", ErrFrameTooBig, len(p))
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		dst = append(dst, p...)
+	}
+	if cap(p) <= MaxBinarySummaryBytes {
+		*payload = p[:0]
+		payloadPool.Put(payload)
+	}
+	return dst, err
+}
+
+// AppendBinaryBatch appends a whole framed batch (header + summaries)
+// to dst.
+func AppendBinaryBatch(dst []byte, batch []Summary) ([]byte, error) {
+	dst = append(dst, binMagic[:]...)
+	dst = append(dst, binWireVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	var err error
+	for i := range batch {
+		if dst, err = AppendBinarySummary(dst, &batch[i]); err != nil {
+			return dst, fmt.Errorf("ingest: batch record %d: %w", i+1, err)
+		}
+	}
+	return dst, nil
+}
+
+// EncodeBinaryBatch writes the framed binary batch — the exact bytes a
+// binary-wire device puts on the wire, mirroring EncodeBatch's JSON.
+func EncodeBinaryBatch(w io.Writer, batch []Summary) error {
+	buf, err := AppendBinaryBatch(make([]byte, 0, 64+len(batch)*128), batch)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// budgetReader bounds the bytes a decode may consume from an untrusted
+// stream — the raw-TCP analogue of the HTTP body cap. It counts bytes
+// actually handed to the decoder, so read-ahead buffering above it
+// cannot dodge the budget.
+type budgetReader struct {
+	r io.Reader
+	n int64
+}
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.n <= 0 {
+		return 0, ErrFrameTooBig
+	}
+	if int64(len(p)) > b.n {
+		p = p[:b.n]
+	}
+	n, err := b.r.Read(p)
+	b.n -= int64(n)
+	return n, err
+}
+
+// readerPool recycles the bufio layer the frame reader needs for
+// varint-by-varint header reads.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 32<<10) },
+}
+
+// DecodeBinaryBatch parses one framed binary batch and validates every
+// record, mirroring DecodeBatch. maxSummaries <= 0 means unlimited;
+// maxBytes > 0 bounds the total bytes consumed (callers whose reader is
+// already capped, like the HTTP handler under MaxBytesReader, pass 0).
+// Trailing bytes after the declared count are an error — a frame is the
+// whole message on this path.
+func DecodeBinaryBatch(r io.Reader, maxSummaries int, maxBytes int64) ([]Summary, error) {
+	if maxBytes > 0 {
+		r = &budgetReader{r: r, n: maxBytes}
+	}
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
+	out, err := readBinaryBatch(br, maxSummaries)
+	if err != nil {
+		return nil, err
+	}
+	// A frame that consumed its whole budget ends the readable stream, so
+	// an exhausted budget at this probe is indistinguishable from (and as
+	// acceptable as) a clean EOF — the cap's job, bounding consumption,
+	// is already done.
+	if _, err := br.ReadByte(); err != io.EOF && err != ErrFrameTooBig {
+		return nil, errors.New("ingest: binary batch: trailing data after declared count")
+	}
+	return out, nil
+}
+
+// readBinaryBatch reads exactly one framed batch off br, leaving the
+// stream positioned after it — the shared core under DecodeBinaryBatch
+// and the raw-TCP conn loop (where frames arrive back to back). An
+// io.EOF before the first magic byte is returned as io.EOF so stream
+// callers can tell a clean close from a torn frame.
+func readBinaryBatch(br *bufio.Reader, maxSummaries int) ([]Summary, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("ingest: binary batch header: %w", err)
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("ingest: binary batch header: %w", noEOF(err))
+	}
+	if [4]byte(hdr[:4]) != binMagic {
+		return nil, fmt.Errorf("ingest: binary batch: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binWireVersion {
+		return nil, fmt.Errorf("ingest: binary batch: unknown version %d", hdr[4])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: binary batch count: %w", noEOF(err))
+	}
+	if count == 0 {
+		return nil, errors.New("ingest: empty batch")
+	}
+	if maxSummaries > 0 && count > uint64(maxSummaries) {
+		return nil, fmt.Errorf("ingest: batch exceeds %d summaries", maxSummaries)
+	}
+	// The slice grows with actually-decoded frames, never with the
+	// declared count — a hostile count cannot pre-size an allocation.
+	prealloc := count
+	if prealloc > 1024 {
+		prealloc = 1024
+	}
+	out := make([]Summary, 0, prealloc)
+
+	payload := payloadPool.Get().(*[]byte)
+	defer func() {
+		if cap(*payload) <= MaxBinarySummaryBytes {
+			payloadPool.Put(payload)
+		}
+	}()
+	for i := uint64(0); i < count; i++ {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: batch record %d: length: %w", i+1, noEOF(err))
+		}
+		if plen > MaxBinarySummaryBytes {
+			return nil, fmt.Errorf("ingest: batch record %d: %w: %d bytes", i+1, ErrFrameTooBig, plen)
+		}
+		if uint64(cap(*payload)) < plen {
+			*payload = make([]byte, plen)
+		}
+		buf := (*payload)[:plen]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("ingest: batch record %d: %w", i+1, noEOF(err))
+		}
+		var s Summary
+		if err := decodeBinarySummary(buf, &s); err != nil {
+			return nil, fmt.Errorf("ingest: batch record %d: %w", i+1, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: batch record %d: %w", i+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// noEOF upgrades a bare io.EOF mid-structure to ErrUnexpectedEOF so a
+// truncated frame never reads as a clean end of input.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// binCursor walks one summary payload with bounds checks on every read.
+type binCursor struct {
+	buf []byte
+	off int
+}
+
+func (d *binCursor) remaining() int { return len(d.buf) - d.off }
+
+func (d *binCursor) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *binCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *binCursor) varint() (int64, error) {
+	u, err := d.uvarint()
+	return unzigzag(u), err
+}
+
+func (d *binCursor) float64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+// str reads a length-prefixed string, capped at maxKeyLen before the
+// copy — key fields mint store cells, so their length cap is enforced
+// at the wire even before Validate sees the summary.
+func (d *binCursor) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxKeyLen {
+		return "", fmt.Errorf("%w: key field of %d bytes", ErrFrameTooBig, n)
+	}
+	if int(n) > d.remaining() {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// count reads a non-negative counter, capped so it can round-trip
+// through the int fields Validate range-checks.
+func (d *binCursor) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: counter %d", ErrFrameTooBig, v)
+	}
+	return int(v), nil
+}
+
+// decodeBinarySummary parses one payload into s. Allocation discipline:
+// the only allocations are the strings, the exactly-sized RTT slice
+// (its count capped both structurally and by the bytes present), and
+// the sketch (its own decoder enforces the centroid caps).
+func decodeBinarySummary(buf []byte, s *Summary) error {
+	d := binCursor{buf: buf}
+	flags, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if flags&^byte(flagsKnown) != 0 {
+		return fmt.Errorf("ingest: binary summary: unknown flag bits %#x", flags&^byte(flagsKnown))
+	}
+	s.LayersOK = flags&flagLayersOK != 0
+	s.PSMActive = flags&flagPSMActive != 0
+	s.Calibrated = flags&flagCalibrate != 0
+
+	if s.Device, err = d.str(); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	if s.Chipset, err = d.str(); err != nil {
+		return fmt.Errorf("chipset: %w", err)
+	}
+	if s.Group, err = d.str(); err != nil {
+		return fmt.Errorf("group: %w", err)
+	}
+	if s.Scenario, err = d.str(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.TimeMS, err = d.varint(); err != nil {
+		return fmt.Errorf("time_ms: %w", err)
+	}
+	if s.Sent, err = d.count(); err != nil {
+		return fmt.Errorf("sent: %w", err)
+	}
+	if s.Lost, err = d.count(); err != nil {
+		return fmt.Errorf("lost: %w", err)
+	}
+	if s.BackgroundSent, err = d.count(); err != nil {
+		return fmt.Errorf("background_sent: %w", err)
+	}
+	ern, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("emulated_rtt_ns: %w", err)
+	}
+	if ern > math.MaxInt64 {
+		return fmt.Errorf("%w: emulated RTT", ErrFrameTooBig)
+	}
+	s.EmulatedRTTNS = int64(ern)
+	if s.Inflation, err = d.float64(); err != nil {
+		return fmt.Errorf("inflation: %w", err)
+	}
+	if s.LayersOK {
+		if s.UserOverheadNS, err = d.varint(); err != nil {
+			return fmt.Errorf("user_overhead_ns: %w", err)
+		}
+		if s.SDIOOverheadNS, err = d.varint(); err != nil {
+			return fmt.Errorf("sdio_overhead_ns: %w", err)
+		}
+		if s.PSMInflationNS, err = d.varint(); err != nil {
+			return fmt.Errorf("psm_inflation_ns: %w", err)
+		}
+	}
+	if flags&flagRTTs != 0 {
+		n, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("rtt count: %w", err)
+		}
+		// Structural cap AND bytes-present cap (each delta is ≥ 1 byte)
+		// before the slice exists.
+		if n == 0 || n > maxRTTsPerSummary || n > uint64(d.remaining()) {
+			return fmt.Errorf("%w: %d RTTs", ErrFrameTooBig, n)
+		}
+		rtts := make([]int64, n)
+		first, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("rtt[0]: %w", err)
+		}
+		if first > math.MaxInt64 {
+			return fmt.Errorf("%w: rtt[0]", ErrFrameTooBig)
+		}
+		rtts[0] = int64(first)
+		for i := 1; i < int(n); i++ {
+			delta, err := d.varint()
+			if err != nil {
+				return fmt.Errorf("rtt[%d]: %w", i, err)
+			}
+			rtts[i] = rtts[i-1] + delta
+		}
+		s.RTTs = rtts
+	}
+	if flags&flagSketch != 0 {
+		blen, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("sketch length: %w", err)
+		}
+		if blen > agg.MaxSketchBinaryBytes {
+			return fmt.Errorf("%w: sketch of %d bytes", ErrFrameTooBig, blen)
+		}
+		if int(blen) > d.remaining() {
+			return fmt.Errorf("sketch: %w", io.ErrUnexpectedEOF)
+		}
+		sk := new(agg.Sketch)
+		if err := sk.UnmarshalBinary(d.buf[d.off : d.off+int(blen)]); err != nil {
+			return err
+		}
+		d.off += int(blen)
+		s.Sketch = sk
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("ingest: binary summary: %d trailing bytes", d.remaining())
+	}
+	return nil
+}

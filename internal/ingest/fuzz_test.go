@@ -1,0 +1,107 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+)
+
+// fuzzSeedBatches are the structured seeds both fuzz targets start
+// from: a plain batch, a sketch carrier, and an everything-set record —
+// enough structure that the fuzzer's mutations reach deep decoder
+// states instead of dying at the header.
+func fuzzSeedBatches() [][]Summary {
+	sk := agg.NewSketch(0)
+	for i := 0; i < 100; i++ {
+		sk.AddDuration(time.Duration(i) * time.Millisecond)
+	}
+	return [][]Summary{
+		{{Device: "Google Nexus 5", Sent: 2, TimeMS: 1,
+			RTTs: []int64{int64(30 * time.Millisecond), int64(31 * time.Millisecond)}}},
+		{{Device: "HTC One", Sent: 100, Sketch: sk}},
+		{{Device: "Sony Xperia J", Chipset: "BCM4330", Group: "g", Scenario: "s",
+			TimeMS: 123, Sent: 3, Lost: 1, BackgroundSent: 2,
+			EmulatedRTTNS: int64(30 * time.Millisecond), Inflation: 2.5,
+			RTTs:     []int64{int64(40 * time.Millisecond)},
+			LayersOK: true, UserOverheadNS: int64(2 * time.Millisecond),
+			SDIOOverheadNS: int64(11 * time.Millisecond), PSMInflationNS: int64(5 * time.Millisecond),
+			PSMActive: true, Calibrated: true}},
+	}
+}
+
+// FuzzDecodeBatch hammers the JSON wire decoder with arbitrary bytes:
+// it must never panic, and whatever it accepts must pass Validate and
+// survive a canonical re-encode → re-decode round trip.
+func FuzzDecodeBatch(f *testing.F) {
+	for _, batch := range fuzzSeedBatches() {
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, batch); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"device":"x","sent":1}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBatch(bytes.NewReader(data), 1000)
+		if err != nil {
+			return
+		}
+		for i := range batch {
+			if verr := batch[i].Validate(); verr != nil {
+				t.Fatalf("accepted record %d fails Validate: %v", i, verr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, batch); err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if _, err := DecodeBatch(bytes.NewReader(buf.Bytes()), 0); err != nil {
+			t.Fatalf("canonical re-encode does not re-decode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBinaryBatch hammers the hand-rolled binary decoder — the
+// untrusted-input surface this PR adds. Beyond no-panic, it checks the
+// bounds discipline's visible contract: anything accepted validates and
+// round-trips through the encoder byte-compatibly (decode → encode →
+// decode gives the same records).
+func FuzzDecodeBinaryBatch(f *testing.F) {
+	for _, batch := range fuzzSeedBatches() {
+		frame, err := AppendBinaryBatch(nil, batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// A truncated and a bit-flipped variant seed the rejection paths.
+		f.Add(frame[:len(frame)/2])
+		flipped := append([]byte{}, frame...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBinaryBatch(bytes.NewReader(data), 1000, int64(len(data))+1)
+		if err != nil {
+			return
+		}
+		for i := range batch {
+			if verr := batch[i].Validate(); verr != nil {
+				t.Fatalf("accepted record %d fails Validate: %v", i, verr)
+			}
+		}
+		again, err := AppendBinaryBatch(nil, batch)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		batch2, err := DecodeBinaryBatch(bytes.NewReader(again), 1000, 0)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not re-decode: %v", err)
+		}
+		if len(batch2) != len(batch) {
+			t.Fatalf("round trip changed record count: %d → %d", len(batch), len(batch2))
+		}
+	})
+}

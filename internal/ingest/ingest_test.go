@@ -51,7 +51,8 @@ func waitFolded(t *testing.T, s *Server, n int64) {
 // campaign streamed through a loopback ingestd yields queried per-group
 // aggregates equal to the offline fleet.Run report for the same seed —
 // session/probe counts and histograms exact, means within float
-// rounding.
+// rounding. The same check runs once per wire (JSON lines, HTTP binary,
+// raw TCP binary): every transport must carry the records losslessly.
 func TestEndToEndDeterminism(t *testing.T) {
 	sc, ok := fleet.ScenarioByName("device-mix")
 	if !ok {
@@ -75,42 +76,51 @@ func TestEndToEndDeterminism(t *testing.T) {
 		t.Fatalf("offline campaign errors: %v", offline.FirstErrors)
 	}
 
-	s := startTestServer(t, Config{Window: -1, QueueDepth: 64})
-	lg := &LoadGen{URL: s.URL(), BatchSize: 7, TimeMS: 1}
-	streamed, err := lg.StreamCampaign(context.Background(), campaign)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if streamed.Errors != 0 {
-		t.Fatalf("streamed campaign errors: %v", streamed.FirstErrors)
-	}
-	if lg.Sent() != offline.Sessions {
-		t.Fatalf("posted %d summaries, want %d", lg.Sent(), offline.Sessions)
-	}
-	waitFolded(t, s, offline.Sessions)
+	for _, wire := range []string{WireJSON, WireBinary, WireTCP} {
+		t.Run(wire, func(t *testing.T) {
+			s := startTestServer(t, Config{Window: -1, QueueDepth: 64, TCPAddr: "127.0.0.1:0"})
+			url := s.URL()
+			if wire == WireTCP {
+				url = s.TCPAddr()
+			}
+			lg := &LoadGen{URL: url, Wire: wire, BatchSize: 7, TimeMS: 1}
+			defer lg.Close()
+			streamed, err := lg.StreamCampaign(context.Background(), campaign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Errors != 0 {
+				t.Fatalf("streamed campaign errors: %v", streamed.FirstErrors)
+			}
+			if lg.Sent() != offline.Sessions {
+				t.Fatalf("posted %d summaries, want %d", lg.Sent(), offline.Sessions)
+			}
+			waitFolded(t, s, offline.Sessions)
 
-	// The acceptance criteria live in VerifyAgainstReport — the same
-	// checker cmd/acutemon-ingestd's "verified" line relies on.
-	mismatches, maxMeanRel := VerifyAgainstReport(s.Store(), offline)
-	for _, m := range mismatches {
-		t.Error(m)
-	}
-	if maxMeanRel > 1e-9 {
-		t.Errorf("max mean drift %g exceeds float tolerance", maxMeanRel)
-	}
-	// Every fleet session attributes its layers, so the punctured track
-	// must sit at or below raw in every group.
-	cells, err := s.Store().Query(RollupGroup)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(cells) != len(offline.Groups) {
-		t.Fatalf("%d ingested groups, offline has %d", len(cells), len(offline.Groups))
-	}
-	for _, c := range cells {
-		if c.Punctured.Mean > c.Raw.Mean {
-			t.Errorf("%s: punctured mean %v above raw %v", c.Key.Group, c.Punctured.Mean, c.Raw.Mean)
-		}
+			// The acceptance criteria live in VerifyAgainstReport — the same
+			// checker cmd/acutemon-ingestd's "verified" line relies on.
+			mismatches, maxMeanRel := VerifyAgainstReport(s.Store(), offline)
+			for _, m := range mismatches {
+				t.Error(m)
+			}
+			if maxMeanRel > 1e-9 {
+				t.Errorf("max mean drift %g exceeds float tolerance", maxMeanRel)
+			}
+			// Every fleet session attributes its layers, so the punctured track
+			// must sit at or below raw in every group.
+			cells, err := s.Store().Query(RollupGroup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cells) != len(offline.Groups) {
+				t.Fatalf("%d ingested groups, offline has %d", len(cells), len(offline.Groups))
+			}
+			for _, c := range cells {
+				if c.Punctured.Mean > c.Raw.Mean {
+					t.Errorf("%s: punctured mean %v above raw %v", c.Key.Group, c.Punctured.Mean, c.Raw.Mean)
+				}
+			}
+		})
 	}
 }
 
@@ -344,13 +354,13 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 }
 
-// TestBackpressure exercises the bounded-queue path white-box: with the
-// queue full, a post must shed with 503 + Retry-After, not block.
+// TestBackpressure exercises the credit-pool path white-box: with every
+// batch credit held, a post must shed with 503 + Retry-After, not block.
 func TestBackpressure(t *testing.T) {
-	s := &Server{cfg: Config{}, store: NewStore(0, 1), punc: NewPuncturer(nil, 1),
-		queue: make(chan []Summary, 1)}
+	s := &Server{cfg: Config{QueueDepth: 1}, store: NewStore(0, 1), punc: NewPuncturer(nil, 1),
+		pipes: []chan pipeJob{make(chan pipeJob, 1)}, credits: make(chan struct{}, 1)}
 	s.cfg.fill()
-	s.queue <- []Summary{{Device: "X", Sent: 1}} // fill the queue; no fold workers running
+	s.credits <- struct{}{} // exhaust the credit pool; no fold workers running
 
 	var buf bytes.Buffer
 	EncodeBatch(&buf, []Summary{{Device: "Google Nexus 5", Sent: 1, RTTs: []int64{1000}}})

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -12,6 +13,13 @@ import (
 	"repro/internal/android"
 	"repro/internal/fleet"
 	"repro/internal/stats"
+)
+
+// Wire names for LoadGen.Wire and the -wire flags.
+const (
+	WireJSON   = "json"   // JSON lines over HTTP POST (the debuggable default)
+	WireBinary = "binary" // framed binary over HTTP POST
+	WireTCP    = "tcp"    // framed binary on a long-lived raw TCP connection
 )
 
 // LoadGen streams session summaries to an ingest server over the real
@@ -22,8 +30,13 @@ import (
 // (ReplayReport: the -json artifact of cmd/acutemon-fleet, resampled
 // through the wire).
 type LoadGen struct {
-	// URL is the ingest server base, e.g. "http://127.0.0.1:7777".
+	// URL is the ingest server base, e.g. "http://127.0.0.1:7777". On
+	// the tcp wire it is the raw listener's host:port (Server.TCPAddr).
 	URL string
+	// Wire selects the transport: WireJSON (default), WireBinary, or
+	// WireTCP. The binary wires carry the exact same records; devices
+	// prefer them when upload bytes or server CPU are the constraint.
+	Wire string
 	// BatchSize is summaries per POST (<1 → 100).
 	BatchSize int
 	// TimeMS stamps every summary with a fixed event time; 0 stamps
@@ -40,6 +53,7 @@ type LoadGen struct {
 	RetryDelay time.Duration
 
 	sent int64
+	conn net.Conn // lazy long-lived connection for the tcp wire
 }
 
 func (lg *LoadGen) fill() {
@@ -60,23 +74,50 @@ func (lg *LoadGen) fill() {
 // Sent reports the number of summaries successfully posted so far.
 func (lg *LoadGen) Sent() int64 { return lg.sent }
 
-// Send posts one batch as JSON lines, honouring backpressure retries.
+// Close releases the tcp wire's connection, if one is open.
+func (lg *LoadGen) Close() error {
+	if lg.conn != nil {
+		err := lg.conn.Close()
+		lg.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Send posts one batch on the configured wire, honouring backpressure
+// retries (HTTP 503 / TCP busy byte).
 func (lg *LoadGen) Send(ctx context.Context, batch []Summary) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	lg.fill()
-	var buf bytes.Buffer
-	if err := EncodeBatch(&buf, batch); err != nil {
-		return fmt.Errorf("ingest: encoding batch: %w", err)
+	var body []byte
+	contentType := "application/x-ndjson"
+	switch lg.Wire {
+	case "", WireJSON:
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, batch); err != nil {
+			return fmt.Errorf("ingest: encoding batch: %w", err)
+		}
+		body = buf.Bytes()
+	case WireBinary, WireTCP:
+		var err error
+		if body, err = AppendBinaryBatch(nil, batch); err != nil {
+			return fmt.Errorf("ingest: encoding batch: %w", err)
+		}
+		contentType = BinaryContentType
+	default:
+		return fmt.Errorf("ingest: unknown wire %q", lg.Wire)
 	}
-	body := buf.Bytes()
+	if lg.Wire == WireTCP {
+		return lg.sendTCP(ctx, body, len(batch))
+	}
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.URL+"/v1/ingest", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set("Content-Type", contentType)
 		resp, err := lg.Client.Do(req)
 		if err != nil {
 			return fmt.Errorf("ingest: posting batch: %w", err)
@@ -95,6 +136,62 @@ func (lg *LoadGen) Send(ctx context.Context, batch []Summary) error {
 			}
 		default:
 			return fmt.Errorf("ingest: server rejected batch: %s", resp.Status)
+		}
+	}
+}
+
+// sendTCP writes one binary frame on the long-lived raw connection and
+// waits for its status byte. A busy reply backs off and re-sends; an
+// I/O error redials once per attempt (the server closes idle
+// connections, which a well-behaved device just reopens).
+func (lg *LoadGen) sendTCP(ctx context.Context, frame []byte, n int) error {
+	for attempt := 0; ; attempt++ {
+		if lg.conn == nil {
+			d := net.Dialer{Timeout: 10 * time.Second}
+			c, err := d.DialContext(ctx, "tcp", lg.URL)
+			if err != nil {
+				return fmt.Errorf("ingest: dialing tcp wire: %w", err)
+			}
+			lg.conn = c
+		}
+		status, err := func() (byte, error) {
+			if deadline, ok := ctx.Deadline(); ok {
+				lg.conn.SetDeadline(deadline)
+			} else {
+				lg.conn.SetDeadline(time.Now().Add(30 * time.Second))
+			}
+			if _, err := lg.conn.Write(frame); err != nil {
+				return 0, err
+			}
+			var st [1]byte
+			if _, err := io.ReadFull(lg.conn, st[:]); err != nil {
+				return 0, err
+			}
+			return st[0], nil
+		}()
+		switch {
+		case err != nil:
+			// The frame's fate is unknown on an I/O error; the wire is
+			// at-least-once under retry, exactly like HTTP re-posts.
+			lg.Close()
+			if attempt >= lg.Retries {
+				return fmt.Errorf("ingest: tcp wire: %w", err)
+			}
+		case status == tcpStatusAccepted:
+			lg.sent += int64(n)
+			return nil
+		case status == tcpStatusBusy && attempt < lg.Retries:
+			// Backpressure keeps the connection open server-side; if this
+			// busy came from a draining server (which closes after it),
+			// the next write fails into the redial path above.
+		default:
+			lg.Close()
+			return fmt.Errorf("ingest: tcp wire: server answered status %d", status)
+		}
+		select {
+		case <-time.After(lg.RetryDelay):
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 }

@@ -1,0 +1,138 @@
+package ingest
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-core ingest pipelines. The old design pushed whole batches onto
+// one shared channel drained by N workers — at binary-wire rates the
+// single channel and the store-stripe contention behind it become the
+// ceiling. Here each fold worker owns one pipe (channel) and summaries
+// are routed to pipes by the same full-key hash the store shards by.
+// Two properties fall out:
+//
+//   - A given cell's folds all happen on one pipe, so two workers never
+//     contend on one store stripe for the hot cell, and per-cell fold
+//     order under sequential posts matches a serial fold exactly — the
+//     sharding-equivalence test asserts bit-identical store state.
+//   - Backpressure stays batch-atomic: a batch takes one credit (the
+//     queue-depth analogue) or is rejected whole with 503/busy; its
+//     sub-batches release the credit when the last one folds.
+//
+// The non-blocking send invariant: credits caps outstanding batches at
+// QueueDepth, each batch contributes at most one job per pipe, and each
+// pipe's buffer is QueueDepth deep — so a credited batch's sends can
+// never block, and the handler never stalls holding a credit.
+
+// pipeJob is one batch's share of one pipe: a contiguous run of the
+// batch's summaries that hash to this pipe.
+type pipeJob struct {
+	sums []Summary
+	ref  *batchRef
+}
+
+// batchRef tracks one accepted batch across the pipes it was split
+// over; the last sub-batch folded returns the batch's credit.
+type batchRef struct {
+	s       *Server
+	pending atomic.Int64
+}
+
+func (r *batchRef) done() {
+	if r.pending.Add(-1) == 0 {
+		<-r.s.credits
+	}
+}
+
+// enqueue stamps arrival time, takes one credit, and routes the batch
+// across the pipes. False means backpressure: the caller sheds the
+// whole batch (503 on HTTP, busy byte on TCP) and nothing was queued.
+func (s *Server) enqueue(batch []Summary) bool {
+	// Stamp arrival time here, not at fold time: under backpressure a
+	// batch can sit queued across a window boundary, and the wire
+	// contract promises arrival-time windows for unstamped summaries.
+	// When windowing is on, event times are also clamped to a sane
+	// horizon around arrival — far-future stamps would mint windows the
+	// retention janitor can never prune, permanently pinning the cell
+	// cap against legitimate traffic.
+	now := time.Now().UnixMilli()
+	for i := range batch {
+		ts := batch[i].TimeMS
+		if ts == 0 ||
+			(s.store.windowMS > 0 && (ts > now+maxEventSkewMS || ts < now-s.ageClampMS)) {
+			batch[i].TimeMS = now
+		}
+	}
+
+	select {
+	case s.credits <- struct{}{}:
+	default:
+		return false
+	}
+
+	n := len(s.pipes)
+	ref := &batchRef{s: s}
+	if n == 1 {
+		ref.pending.Store(1)
+		s.pipes[0] <- pipeJob{sums: batch, ref: ref}
+		return true
+	}
+
+	// Counting sort by pipe: one pass to count, one to scatter into a
+	// single backing array, then at most one contiguous job per pipe.
+	// The scatter copies the summary headers (the RTT slices and sketch
+	// pointers are shared), trading one small copy for jobs each worker
+	// can walk without striding the whole batch.
+	pipeOf := make([]uint16, len(batch))
+	counts := make([]int, n)
+	for i := range batch {
+		p := uint16(keyHash(s.store.KeyFor(&batch[i])) % uint64(n))
+		pipeOf[i] = p
+		counts[p]++
+	}
+	offs := make([]int, n)
+	total := 0
+	for p, c := range counts {
+		offs[p] = total
+		total += c
+	}
+	sorted := make([]Summary, len(batch))
+	next := append([]int(nil), offs...)
+	for i := range batch {
+		p := pipeOf[i]
+		sorted[next[p]] = batch[i]
+		next[p]++
+	}
+	jobs := 0
+	for _, c := range counts {
+		if c > 0 {
+			jobs++
+		}
+	}
+	ref.pending.Store(int64(jobs))
+	for p := 0; p < n; p++ {
+		if counts[p] == 0 {
+			continue
+		}
+		s.pipes[p] <- pipeJob{sums: sorted[offs[p] : offs[p]+counts[p]], ref: ref}
+	}
+	return true
+}
+
+// foldLoop drains one pipe into the store; worker i is the sole folder
+// for every cell hashing to pipe i.
+func (s *Server) foldLoop(i int) {
+	defer s.foldWG.Done()
+	for job := range s.pipes[i] {
+		for j := range job.sums {
+			sum := &job.sums[j]
+			corr, src := s.punc.Correction(sum)
+			if s.store.Fold(sum, corr, src) {
+				s.metrics.FoldedSummaries.Add(1)
+				s.metrics.FoldedSamples.Add(int64(len(sum.RTTs)))
+			} // else: counted by the store itself
+		}
+		job.ref.done()
+	}
+}

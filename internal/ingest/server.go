@@ -26,6 +26,11 @@ type Config struct {
 	// Addr is the listen address ("" → 127.0.0.1:0, i.e. loopback on an
 	// ephemeral port — the test/benchmark default).
 	Addr string
+	// TCPAddr, when set, additionally opens a raw TCP listener speaking
+	// back-to-back binary batch frames (see tcp.go) — the lowest-overhead
+	// wire for long-lived device connections. "" disables it; ":0" binds
+	// an ephemeral port.
+	TCPAddr string
 	// Window is the aggregation window width (0 → 1 minute; negative
 	// disables time bucketing entirely).
 	Window time.Duration
@@ -33,11 +38,13 @@ type Config struct {
 	// learned-overhead table (<1 → package defaults).
 	StoreShards    int
 	PunctureShards int
-	// QueueDepth bounds the decoded-batch queue between the HTTP
-	// handlers and the fold workers (<1 → 256). A full queue is
+	// QueueDepth bounds outstanding decoded batches between the wire
+	// handlers and the fold pipelines (<1 → 256). It is both the batch
+	// credit pool and each pipe's buffer depth; exhaustion is
 	// backpressure: posts get 503 + Retry-After instead of piling up.
 	QueueDepth int
-	// FoldWorkers drain the queue into the store (<1 → GOMAXPROCS).
+	// FoldWorkers is the number of per-core fold pipelines; summaries
+	// are routed to pipelines by cell-key hash (<1 → GOMAXPROCS).
 	FoldWorkers int
 	// MaxConns bounds concurrently accepted TCP connections (<1 → 512).
 	MaxConns int
@@ -136,9 +143,15 @@ type Server struct {
 	store   *Store
 	punc    *Puncturer
 	metrics Metrics
-	queue   chan []Summary
+	// pipes are the per-core fold pipelines; credits is the shared
+	// batch-credit pool bounding outstanding batches (see pipeline.go).
+	pipes   []chan pipeJob
+	credits chan struct{}
 	ln      net.Listener
 	http    *http.Server
+	tcpLn   net.Listener
+	tcp     tcpConns
+	tcpWG   sync.WaitGroup
 	foldWG  sync.WaitGroup
 	// inflight counts ingest handlers past the draining check. A plain
 	// atomic (polled in Shutdown) rather than a WaitGroup: an abandoned
@@ -192,10 +205,14 @@ func Start(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		store:       NewStore(window, cfg.StoreShards),
 		punc:        NewPuncturerStore(knowledge),
-		queue:       make(chan []Summary, cfg.QueueDepth),
+		pipes:       make([]chan pipeJob, cfg.FoldWorkers),
+		credits:     make(chan struct{}, cfg.QueueDepth),
 		janitorStop: make(chan struct{}),
 		started:     time.Now(),
 		servErr:     make(chan error, 1),
+	}
+	for i := range s.pipes {
+		s.pipes[i] = make(chan pipeJob, cfg.QueueDepth)
 	}
 	if cfg.MaxCells != 0 {
 		s.store.SetMaxCells(cfg.MaxCells)
@@ -221,7 +238,16 @@ func Start(cfg Config) (*Server, error) {
 
 	s.foldWG.Add(cfg.FoldWorkers)
 	for i := 0; i < cfg.FoldWorkers; i++ {
-		go s.foldLoop()
+		go s.foldLoop(i)
+	}
+	if cfg.TCPAddr != "" {
+		if err := s.startTCP(cfg.TCPAddr); err != nil {
+			ln.Close()
+			for _, p := range s.pipes {
+				close(p)
+			}
+			return nil, err
+		}
 	}
 	if window > 0 && cfg.Retention > 0 {
 		go s.janitor(window, cfg.Retention)
@@ -353,12 +379,21 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.janitorOnce.Do(func() { close(s.janitorStop) })
+	// Stop the raw TCP wire first: close the listener, then force-close
+	// live connections — their frame loops observe draining (answering
+	// busy) or error out of the blocked read; either way they exit, and
+	// any frame already past the draining check is in the inflight count
+	// the poll below waits on.
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+		s.tcp.closeAll()
+	}
 	err := s.http.Shutdown(ctx)
 
 	// Wait for every handler that got past the draining check before
-	// closing the queue: http.Shutdown returns early with the handler
+	// closing the pipes: http.Shutdown returns early with the handler
 	// still running when its context expires, and closing under a
-	// pending `queue <-` would panic the process mid-drain.
+	// pending pipe send would panic the process mid-drain.
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for s.inflight.Load() != 0 {
@@ -371,7 +406,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return err
 		}
 	}
-	s.closeOnce.Do(func() { close(s.queue) })
+	s.tcpWG.Wait()
+	s.closeOnce.Do(func() {
+		for _, p := range s.pipes {
+			close(p)
+		}
+	})
 
 	foldsDone := make(chan struct{})
 	go func() {
@@ -411,21 +451,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-func (s *Server) foldLoop() {
-	defer s.foldWG.Done()
-	for batch := range s.queue {
-		for i := range batch {
-			sum := &batch[i]
-			corr, src := s.punc.Correction(sum)
-			if !s.store.Fold(sum, corr, src) {
-				continue // counted by the store itself
-			}
-			s.metrics.FoldedSummaries.Add(1)
-			s.metrics.FoldedSamples.Add(int64(len(sum.RTTs)))
-		}
-	}
-}
-
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -433,7 +458,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// The increment must precede the draining check: Shutdown sets
 	// draining before polling the counter, so any handler it misses is
-	// one that will observe draining and never touch the queue.
+	// one that will observe draining and never touch the pipes.
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	if s.draining.Load() {
@@ -442,11 +467,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
-	batch, err := DecodeBatch(body, s.cfg.MaxBatchSummaries)
+	// Dispatch on Content-Type: the framed binary wire rides the same
+	// endpoint as JSON lines, so a device can switch wires without a
+	// config change server-side.
+	var batch []Summary
+	var err error
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.EqualFold(strings.TrimSpace(ct), BinaryContentType) {
+		batch, err = DecodeBinaryBatch(body, s.cfg.MaxBatchSummaries, 0)
+	} else {
+		batch, err = DecodeBatch(body, s.cfg.MaxBatchSummaries)
+	}
 	if err != nil {
 		// An oversized batch is valid data that needs splitting, not
 		// wire corruption — 413 tells the client to re-post in chunks
-		// instead of discarding its summaries.
+		// instead of discarding its summaries. Everything else —
+		// corruption, caps like ErrFrameTooBig, validation — is a 400:
+		// the frame itself is unacceptable, re-sending it won't help.
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.metrics.OversizedBatches.Add(1)
@@ -458,29 +498,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Stamp arrival time here, not at fold time: under backpressure a
-	// batch can sit queued across a window boundary, and the wire
-	// contract promises arrival-time windows for unstamped summaries.
-	// When windowing is on, event times are also clamped to a sane
-	// horizon around arrival — far-future stamps would mint windows the
-	// retention janitor can never prune, permanently pinning the cell
-	// cap against legitimate traffic.
-	now := time.Now().UnixMilli()
-	for i := range batch {
-		ts := batch[i].TimeMS
-		if ts == 0 ||
-			(s.store.windowMS > 0 && (ts > now+maxEventSkewMS || ts < now-s.ageClampMS)) {
-			batch[i].TimeMS = now
-		}
-	}
-	select {
-	case s.queue <- batch:
+	if s.enqueue(batch) {
 		s.metrics.AcceptedBatches.Add(1)
 		s.metrics.AcceptedSummaries.Add(int64(len(batch)))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(batch))
-	default:
+	} else {
 		// Backpressure: the fold stage is behind; shed load at the edge
 		// rather than buffering unboundedly.
 		s.metrics.RejectedBatches.Add(1)
@@ -828,8 +852,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	payload := map[string]any{
 		"status":    status,
 		"uptime_ms": time.Since(s.started).Milliseconds(),
-		"queue_len": len(s.queue),
-		"queue_cap": cap(s.queue),
+		// queue_* keep their names across the pipeline refactor: len is
+		// outstanding batch credits, cap the credit pool.
+		"queue_len": len(s.credits),
+		"queue_cap": cap(s.credits),
 		"window_ms": s.store.windowMS,
 		"cells":     s.store.Cells(),
 		"counters":  s.MetricsSnapshot(),

@@ -323,7 +323,11 @@ func fnv1a64(h uint64, s string) uint64 {
 	return h
 }
 
-func (st *Store) shardFor(k Key) *storeShard {
+// keyHash is the full-key FNV-1a hash shared by store sharding and the
+// ingest pipelines' per-core dispatch: routing on the same hash the
+// store shards by keeps each cell's folds on one pipe, so per-cell fold
+// order — and thus exact store state — matches a serial fold.
+func keyHash(k Key) uint64 {
 	h := fnv1a64(fnvOffset64, k.Device)
 	h = fnv1a64(h, k.Group)
 	h = fnv1a64(h, k.Scenario)
@@ -332,7 +336,22 @@ func (st *Store) shardFor(k Key) *storeShard {
 		h ^= (w >> (8 * i)) & 0xff
 		h *= fnvPrime64
 	}
-	return &st.shards[h%uint64(len(st.shards))]
+	return h
+}
+
+func (st *Store) shardFor(k Key) *storeShard {
+	return &st.shards[keyHash(k)%uint64(len(st.shards))]
+}
+
+// KeyFor returns the aggregation cell key s folds into — exposed so the
+// ingest pipelines can route a summary to the pipe owning its cell.
+func (st *Store) KeyFor(s *Summary) Key {
+	return Key{
+		Device:   s.Device,
+		Group:    s.GroupLabel(),
+		Scenario: s.Scenario,
+		WindowMS: st.WindowFor(s.TimeMS),
+	}
 }
 
 // Fold routes one summary into its cell under the stripe lock. It
@@ -340,12 +359,7 @@ func (st *Store) shardFor(k Key) *storeShard {
 // existing cells keep folding, so a cardinality attack degrades only
 // attack traffic, not the census already being served.
 func (st *Store) Fold(s *Summary, corr time.Duration, src CorrectionSource) bool {
-	k := Key{
-		Device:   s.Device,
-		Group:    s.GroupLabel(),
-		Scenario: s.Scenario,
-		WindowMS: st.WindowFor(s.TimeMS),
-	}
+	k := st.KeyFor(s)
 	sh := st.shardFor(k)
 	sh.mu.Lock()
 	c, ok := sh.cells[k]

@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPost writes one binary frame on c and returns the status byte.
+func tcpPost(t *testing.T, c net.Conn, batch []Summary) byte {
+	t.Helper()
+	frame, err := AppendBinaryBatch(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(status[:]); err != nil {
+		t.Fatal(err)
+	}
+	return status[0]
+}
+
+// TestTCPWire drives the raw binary listener: framed batches on one
+// long-lived connection, one status byte per frame, folds landing in
+// the same store the HTTP wire feeds.
+func TestTCPWire(t *testing.T) {
+	s := startTestServer(t, Config{Window: -1, TCPAddr: "127.0.0.1:0"})
+	if s.TCPAddr() == "" {
+		t.Fatal("TCP listener not bound")
+	}
+	c, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	total := 0
+	for f := 0; f < 5; f++ {
+		batch := make([]Summary, 8)
+		for i := range batch {
+			batch[i] = Summary{Device: "Google Nexus 5", TimeMS: 1, Sent: 1,
+				RTTs: []int64{int64(30 * time.Millisecond)}}
+		}
+		if got := tcpPost(t, c, batch); got != tcpStatusAccepted {
+			t.Fatalf("frame %d: status %d, want accepted", f, got)
+		}
+		total += len(batch)
+	}
+	waitFolded(t, s, int64(total))
+	cells := s.Store().Snapshot()
+	if len(cells) != 1 || cells[0].Sessions != int64(total) {
+		t.Fatalf("store after TCP ingest: %+v", cells)
+	}
+
+	// A torn frame answers bad and drops the connection.
+	bad, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Write([]byte("GARBAGE FRAME\n")); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bad.Read(status[:]); err != nil || status[0] != tcpStatusBad {
+		t.Fatalf("garbage frame: status %d err %v, want bad", status[0], err)
+	}
+	if _, err := bad.Read(status[:]); err == nil {
+		t.Fatal("connection survived a bad frame")
+	}
+	if s.metrics.BadBatches.Load() == 0 {
+		t.Fatal("bad frame not counted")
+	}
+}
