@@ -2,9 +2,9 @@
 # exactly what the workflow runs.
 
 GO ?= go
-BENCH_FILE ?= BENCH_6.json
+BENCH_FILE ?= BENCH_7.json
 
-.PHONY: build test race bench bench-json bench-gate fuzz-smoke e2e-restart lint fmt ci
+.PHONY: build test race bench bench-json bench-gate fuzz-smoke e2e-restart e2e-churn lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ bench:
 # threshold (a single-iteration loopback figure swings ±40% run to
 # run). benchfmt keys by name and keeps the last occurrence, so the
 # steadier pass wins in $(BENCH_FILE).
-BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge
+BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge|StreamFanout|Compaction
 
 # Machine-readable benchmark record for the perf trajectory (ns/op,
 # summaries/sec across all three wires, decode costs, and the
@@ -62,6 +62,16 @@ fuzz-smoke:
 # list, not buried in the full test log.
 e2e-restart:
 	$(GO) test -count=1 -run 'TestIngestdRestartRoundTrip|TestProfilesDeltaMerge' -v ./internal/ingest
+
+# Steady-state churn e2e: rotating cell keys through a capped store
+# must hold resident cells at the cap with compaction preserving every
+# session count (the bounded-memory/lossless-retention acceptance
+# check), plus the stream-replica equivalence e2e. Runs both the Go
+# test and the CLI churn mode, so the operator-facing command is
+# exercised too.
+e2e-churn:
+	$(GO) test -count=1 -run 'TestChurnSteadyState|TestStreamDeltasReproduceStats' -v ./internal/ingest
+	$(GO) run ./cmd/acutemon-ingestd -churn 12 -churn-keys 64 -window 500ms -retention 2s
 
 lint:
 	$(GO) vet ./...

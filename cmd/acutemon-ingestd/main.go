@@ -15,6 +15,7 @@
 //	                 [-probes 100] [-rtt 30ms] [-seed 1] [-batch 100]
 //	                 [-wire json|binary|tcp] [-workers 0] [-target http://host:port]
 //	acutemon-ingestd -replay report.json [-wire json|binary|tcp] [-target http://host:port]
+//	acutemon-ingestd -churn 20 [-churn-keys 100] [-max-cells 100] [-window 1s] [-retention 3s]
 //
 // The default mode serves until SIGINT/SIGTERM, then drains in-flight
 // batches and prints the final aggregate table. -loadgen demonstrates
@@ -51,7 +52,10 @@ func main() {
 	maxConns := flag.Int("max-conns", 512, "max concurrently accepted connections")
 	tcpAddr := flag.String("tcp-addr", "", "raw binary-wire TCP listen address (empty disables; see README Wire formats)")
 	maxCells := flag.Int64("max-cells", 0, "distinct aggregation cell cap (0 = default, negative = uncapped)")
-	retention := flag.Duration("retention", 0, "prune windows older than this (0 = 24h, negative = keep forever)")
+	retention := flag.Duration("retention", 0, "compact windows older than this into rollups (0 = 24h, negative = keep forever)")
+	compactWindow := flag.Duration("compact-window", 0, "rollup window width expired cells merge into (0 = 10x window; negative reverts to lossy pruning)")
+	streamInterval := flag.Duration("stream-interval", 0, "/v1/stream broadcast coalescing interval (0 = 100ms)")
+	maxSubscribers := flag.Int("max-subscribers", 0, "max concurrent /v1/stream clients (0 = 64)")
 	registryPath := flag.String("registry", "", "calibration database JSON to serve and puncture against")
 	profilesPath := flag.String("profiles", "", "device-knowledge snapshot: loaded on boot, snapshotted atomically while serving, saved on drain (learned overheads survive restarts)")
 	profilesInterval := flag.Duration("profiles-interval", time.Minute, "periodic knowledge-snapshot cadence with -profiles (negative disables the periodic saver)")
@@ -67,6 +71,8 @@ func main() {
 	wire := flag.String("wire", ingest.WireJSON, "loadgen/replay wire: json, binary (HTTP), or tcp (raw binary)")
 	target := flag.String("target", "", "loadgen/replay target base URL — host:port with -wire=tcp (default: embedded loopback server)")
 	replayPath := flag.String("replay", "", "replay a recorded campaign report (cmd/acutemon-fleet -json) through the wire")
+	churn := flag.Int("churn", 0, "run N rounds of rotating-key churn through an embedded server and verify bounded-memory lossless retention")
+	churnKeys := flag.Int("churn-keys", 100, "distinct device identities per churn round")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,6 +109,9 @@ func main() {
 		MaxConns:         *maxConns,
 		MaxCells:         *maxCells,
 		Retention:        *retention,
+		CompactWindow:    *compactWindow,
+		StreamInterval:   *streamInterval,
+		MaxSubscribers:   *maxSubscribers,
 		Registry:         registry,
 		ProfilesPath:     *profilesPath,
 		ProfilesInterval: *profilesInterval,
@@ -112,6 +121,8 @@ func main() {
 	}
 
 	switch {
+	case *churn > 0:
+		runChurn(ctx, cfg, *churn, *churnKeys, *batch, *wire)
 	case *replayPath != "":
 		runReplay(ctx, cfg, *replayPath, *target, *batch, *wire)
 	case *loadgen:
@@ -137,7 +148,7 @@ func serve(ctx context.Context, cfg ingest.Config) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("acutemon-ingestd listening on %s (POST /v1/ingest /v1/profiles; GET /v1/profiles /stats /models /healthz)\n", s.Addr())
+	fmt.Printf("acutemon-ingestd listening on %s (POST /v1/ingest /v1/profiles; GET /v1/profiles /stats /v1/stream /models /metrics /healthz)\n", s.Addr())
 	if cfg.ProfilesPath != "" {
 		st := s.Puncturer().Store()
 		fmt.Printf("device knowledge at %s: %d profiles (%d calibrated) on boot\n",
@@ -160,9 +171,9 @@ func printStats(s *ingest.Server, by ingest.Rollup) {
 		fmt.Fprintln(os.Stderr, "query:", err)
 		return
 	}
-	resp := ingest.StatsResponse{Rollup: by, Cells: cellStats}
-	fmt.Print(ingest.RenderStats(resp))
 	m := s.MetricsSnapshot()
+	resp := ingest.StatsResponse{Rollup: by, Cells: cellStats, Counters: m}
+	fmt.Print(ingest.RenderStats(resp))
 	fmt.Printf("batches: %d accepted, %d shed (backpressure), %d malformed; summaries folded: %d (%d RTTs)\n",
 		m["accepted_batches"], m["rejected_batches"], m["bad_batches"],
 		m["folded_summaries"], m["folded_samples"])
@@ -272,6 +283,117 @@ func verify(s *ingest.Server, rep *fleet.Report) {
 	}
 	fmt.Printf("verified: ingested aggregates match the offline campaign report for seed (%d groups; max mean drift %.2g relative)\n",
 		len(rep.Groups), maxMeanRel)
+}
+
+// runChurn drives rotating device identities through an embedded
+// server — the workload that used to grow the store without bound —
+// and verifies bounded-memory lossless retention: resident fine cells
+// stay at the cap, expired windows compact into rollups, and every
+// folded session stays queryable through the merged view.
+func runChurn(ctx context.Context, cfg ingest.Config, rounds, keys, batch int, wire string) {
+	// Tighten the timing defaults so rotation and expiry take seconds,
+	// not hours; explicit -window/-retention/-max-cells still win.
+	if cfg.Window == time.Minute {
+		cfg.Window = time.Second
+	}
+	if cfg.Window <= 0 {
+		fatal("churn needs time bucketing; drop -window 0")
+	}
+	if cfg.Retention == 0 {
+		cfg.Retention = 3 * time.Second
+	}
+	if cfg.MaxCells == 0 {
+		cfg.MaxCells = int64(keys)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	if wire == ingest.WireTCP && cfg.TCPAddr == "" {
+		cfg.TCPAddr = "127.0.0.1:0"
+	}
+	s, err := ingest.Start(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	url := s.URL()
+	if wire == ingest.WireTCP {
+		url = s.TCPAddr()
+	}
+	fmt.Printf("embedded ingestd on %s (%s wire): churn %d rounds x %d keys, cap %d cells, window %v, retention %v\n",
+		url, wire, rounds, keys, cfg.MaxCells, cfg.Window, cfg.Retention)
+	lg := &ingest.LoadGen{URL: url, Wire: wire, BatchSize: batch}
+	defer lg.Close()
+	windowMS := cfg.Window.Milliseconds()
+	// Start just inside the event-age clamp so the oldest windows
+	// expire (and compact) seconds after ingest.
+	startMS := time.Now().Add(-cfg.Retention).UnixMilli() + windowMS
+	// One round per Churn call, letting the fold stage drain between
+	// generations: real churn is paced by time, and eviction's
+	// "strictly older window only" rule needs rounds to land in order —
+	// blasting every generation into the queue at once would interleave
+	// old summaries behind new cells and (correctly, visibly) drop them.
+	posted := 0
+	for r := 0; r < rounds && ctx.Err() == nil; r++ {
+		n, err := lg.Churn(ctx, ingest.ChurnSpec{
+			Rounds:  1,
+			Keys:    keys,
+			StartMS: startMS + int64(r)*windowMS,
+			StepMS:  windowMS,
+		})
+		if err != nil {
+			fatal("churn: %v", err)
+		}
+		posted += n
+		waitDeadline := time.Now().Add(30 * time.Second)
+		for s.MetricsSnapshot()["folded_summaries"]+s.Store().Dropped() < int64(posted) {
+			if time.Now().After(waitDeadline) {
+				fatal("churn: fold stage stalled at round %d", r)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fmt.Printf("streamed %d churn summaries\n", posted)
+
+	// Wait for the folds, then for the janitor to compact the expired
+	// windows and re-cap the fine tier.
+	deadline := time.Now().Add(cfg.Retention + time.Duration(rounds)*cfg.Window + 30*time.Second)
+	steady := false
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		m := s.MetricsSnapshot()
+		if m["folded_summaries"] == int64(posted) &&
+			m["compacted_cells"]+m["evicted_cells"] > 0 &&
+			s.Store().Cells() <= cfg.MaxCells {
+			steady = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	m := s.MetricsSnapshot()
+	fmt.Printf("retention: %d cells resident (cap %d), %d rollups; compacted=%d evicted=%d sessions-demoted=%d cycles=%d\n",
+		s.Store().Cells(), cfg.MaxCells, m["rollup_cells"],
+		m["compacted_cells"], m["evicted_cells"], m["compacted_sessions"], m["compaction_cycles"])
+	cells, err := s.Store().Query(ingest.RollupGroup)
+	if err != nil {
+		fatal("query: %v", err)
+	}
+	var total int64
+	for _, c := range cells {
+		total += c.Sessions
+	}
+	folded := m["folded_summaries"]
+	switch {
+	case !steady:
+		fatal("churn FAILED: steady state not reached (folded=%d/%d cells=%d cap=%d compacted=%d evicted=%d)",
+			folded, posted, s.Store().Cells(), cfg.MaxCells, m["compacted_cells"], m["evicted_cells"])
+	case total != folded:
+		fatal("churn FAILED: lossless retention violated: %d sessions queryable, %d folded", total, folded)
+	default:
+		fmt.Printf("churn PASSED: resident cells held at cap, %d/%d sessions preserved through compaction\n",
+			total, folded)
+	}
 }
 
 // runReplay streams a recorded campaign report through the wire.

@@ -44,13 +44,16 @@ import (
 
 // nsOpWatch lists the base benchmark names whose ns/op is gated even
 // though they report no summaries/sec: the puncture table lookup on
-// the per-summary fold path, and the sketch fold/merge the store leans
-// on for tail percentiles.
+// the per-summary fold path, the sketch fold/merge the store leans on
+// for tail percentiles, and the observability layer's broadcast fanout
+// and janitor compaction passes.
 var nsOpWatch = map[string]bool{
 	"BenchmarkCorrectionLookup":         true,
 	"BenchmarkCorrectionLookupParallel": true,
 	"BenchmarkSketchFold":               true,
 	"BenchmarkSketchMerge":              true,
+	"BenchmarkStreamFanout":             true,
+	"BenchmarkCompaction":               true,
 }
 
 type row struct {

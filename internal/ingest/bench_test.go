@@ -217,6 +217,63 @@ func BenchmarkEncodeBinaryBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamFanout prices one broadcast round against a populated
+// store: 16 subscribers each computing their delta from a distinct
+// cursor after a single fold — the per-wake cost that bounds how many
+// live dashboards one ingestd sustains.
+func BenchmarkStreamFanout(b *testing.B) {
+	const subs = 16
+	st := NewStore(time.Second, 0)
+	// 1024 resident cells so the delta scan pays the realistic
+	// full-store walk, not an empty-map sweep.
+	for i := 0; i < 1024; i++ {
+		s := &Summary{Device: fmt.Sprintf("dev-%04d", i), Group: "g", Scenario: "bench",
+			TimeMS: int64(i%8) * 1000, RTTs: []int64{int64(30 * time.Millisecond)}, Sent: 1}
+		if !st.Fold(s, 0, SourceNone) {
+			b.Fatal("fold dropped")
+		}
+	}
+	probe := &Summary{Device: "dev-0000", Group: "g", Scenario: "bench",
+		TimeMS: 0, RTTs: []int64{int64(30 * time.Millisecond)}, Sent: 1}
+	cursors := make([]int64, subs)
+	for i := range cursors {
+		cursors[i] = st.Epoch()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Fold(probe, 0, SourceNone)
+		for j := range cursors {
+			ev, err := st.DeltasSince(cursors[j], RollupCell)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cursors[j] = ev.Epoch
+		}
+	}
+}
+
+// BenchmarkCompaction prices one janitor pass: expire and absorb ~2048
+// fine cells spread over 64 windows into their rollups.
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := NewStore(time.Second, 0)
+		st.EnableCompaction(16 * time.Second)
+		for c := 0; c < 2048; c++ {
+			s := &Summary{Device: fmt.Sprintf("dev-%02d", c%32), Group: "g", Scenario: "bench",
+				TimeMS: int64(c%64) * 1000, RTTs: []int64{int64(30 * time.Millisecond)}, Sent: 1}
+			if !st.Fold(s, 0, SourceNone) {
+				b.Fatal("fold dropped")
+			}
+		}
+		b.StartTimer()
+		cells, _ := st.Compact(int64(65 * 1000))
+		if cells == 0 {
+			b.Fatal("nothing compacted")
+		}
+	}
+}
+
 // BenchmarkStreamCampaign prices the full pipeline end to end: simulate
 // sessions, serialize, post, fold.
 func BenchmarkStreamCampaign(b *testing.B) {

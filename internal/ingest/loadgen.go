@@ -388,6 +388,104 @@ func (lg *LoadGen) ReplayReport(ctx context.Context, rep *fleet.Report) (int, er
 	return posted, nil
 }
 
+// ChurnSpec parameterises LoadGen.Churn, the retention workout: rounds
+// of *rotating* device identities marching forward through event time,
+// so cells are minted and expire continuously — the traffic shape that
+// used to grow the store without bound (or silently lose history to
+// Prune) and now must hold resident cells at the cap with compaction
+// preserving every count.
+type ChurnSpec struct {
+	// Rounds is how many identity generations to push (<1 → 10).
+	Rounds int
+	// Keys is distinct device identities per round (<1 → 100).
+	Keys int
+	// Sessions is summaries per key per round (<1 → 1).
+	Sessions int
+	// RTTsPer is RTT samples per summary (<1 → 3).
+	RTTsPer int
+	// StartMS is the event-time stamp of round 0 (0 → now). Tests pin
+	// it into the past so windows are already expired when the janitor
+	// looks.
+	StartMS int64
+	// StepMS advances event time per round (<=0 → one store window is a
+	// good choice; default 60000). Forward motion is what rotates
+	// windows without waiting on wall clock.
+	StepMS int64
+	// BaseRTT seeds the synthetic RTT values (ns; <=0 → 30ms).
+	BaseRTT int64
+}
+
+func (c *ChurnSpec) fill() {
+	if c.Rounds < 1 {
+		c.Rounds = 10
+	}
+	if c.Keys < 1 {
+		c.Keys = 100
+	}
+	if c.Sessions < 1 {
+		c.Sessions = 1
+	}
+	if c.RTTsPer < 1 {
+		c.RTTsPer = 3
+	}
+	if c.StartMS == 0 {
+		c.StartMS = time.Now().UnixMilli()
+	}
+	if c.StepMS <= 0 {
+		c.StepMS = 60_000
+	}
+	if c.BaseRTT <= 0 {
+		c.BaseRTT = int64(30 * time.Millisecond)
+	}
+}
+
+// Churn streams the rotating-key workload: every (round, key) pair is a
+// brand-new device identity at a fresh event time, so no summary ever
+// folds into an existing cell. Returns the number of summaries posted;
+// the expected server-side invariant is
+// folded == sum over surviving cells + compacted/rollup sessions, with
+// resident fine cells ≤ MaxCells throughout.
+func (lg *LoadGen) Churn(ctx context.Context, spec ChurnSpec) (int, error) {
+	lg.fill()
+	spec.fill()
+	posted := 0
+	batch := make([]Summary, 0, lg.BatchSize)
+	for round := 0; round < spec.Rounds; round++ {
+		ts := spec.StartMS + int64(round)*spec.StepMS
+		for key := 0; key < spec.Keys; key++ {
+			dev := fmt.Sprintf("churn-%05d-%03d", round, key)
+			for sess := 0; sess < spec.Sessions; sess++ {
+				s := Summary{
+					Device:   dev,
+					Group:    fmt.Sprintf("churn-g%02d", key%8),
+					Scenario: "churn",
+					TimeMS:   ts,
+					RTTs:     make([]int64, spec.RTTsPer),
+					Sent:     spec.RTTsPer,
+				}
+				for i := range s.RTTs {
+					// Deterministic spread around BaseRTT keeps the
+					// distribution non-trivial without a RNG.
+					s.RTTs[i] = spec.BaseRTT + int64((key*7+i*13)%23)*int64(time.Millisecond)
+				}
+				batch = append(batch, s)
+				if len(batch) >= lg.BatchSize {
+					if err := lg.Send(ctx, batch); err != nil {
+						return posted, err
+					}
+					posted += len(batch)
+					batch = batch[:0]
+				}
+			}
+		}
+	}
+	if err := lg.Send(ctx, batch); err != nil {
+		return posted, err
+	}
+	posted += len(batch)
+	return posted, nil
+}
+
 // sampleCursor lazily walks a virtual reconstructed sample.
 type sampleCursor interface {
 	// take returns the next n reconstructed samples (fewer only if the

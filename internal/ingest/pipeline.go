@@ -134,5 +134,10 @@ func (s *Server) foldLoop(i int) {
 			} // else: counted by the store itself
 		}
 		job.ref.done()
+		// One poke per drained job, not per summary — the broadcaster
+		// coalesces anyway, this just keeps the hot loop cheap.
+		if s.bcast != nil {
+			s.bcast.poke()
+		}
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,10 +56,24 @@ type Config struct {
 	// the cap are dropped and counted, so key-cardinality abuse cannot
 	// OOM the daemon.
 	MaxCells int64
-	// Retention is how long closed windows are kept before the janitor
-	// prunes them (0 → 24h; negative → keep forever). Irrelevant when
-	// time bucketing is off.
+	// Retention is how long closed windows are kept at fine granularity
+	// before the janitor compacts them into rollups (or, with
+	// compaction disabled, prunes them; 0 → 24h; negative → keep
+	// forever). Irrelevant when time bucketing is off.
 	Retention time.Duration
+	// CompactWindow is the rollup window width expired fine cells merge
+	// into (0 → 10× Window; negative disables compaction, reverting the
+	// janitor to the legacy lossy Prune). Counts/moments/histograms stay
+	// exact through compaction; sketch quantiles keep the agg merge
+	// bound.
+	CompactWindow time.Duration
+	// StreamInterval is the /v1/stream broadcast coalescing interval
+	// (0 → 100ms; negative broadcasts on every fold with no coalescing
+	// delay — test/benchmark use).
+	StreamInterval time.Duration
+	// MaxSubscribers caps concurrent /v1/stream clients (<1 → 64);
+	// past it new subscriptions get 503 + Retry-After, counted.
+	MaxSubscribers int
 	// Registry, when non-nil, is the calibration database consulted per
 	// device model and served under /models. Its backing knowledge
 	// store becomes the server's device-knowledge store, so learned
@@ -107,6 +120,15 @@ func (c *Config) fill() {
 	if c.Retention == 0 {
 		c.Retention = 24 * time.Hour
 	}
+	if c.CompactWindow == 0 {
+		c.CompactWindow = 10 * c.Window
+	}
+	if c.StreamInterval == 0 {
+		c.StreamInterval = 100 * time.Millisecond
+	}
+	if c.MaxSubscribers < 1 {
+		c.MaxSubscribers = 64
+	}
 	if c.ProfilesInterval == 0 {
 		c.ProfilesInterval = time.Minute
 	}
@@ -131,10 +153,14 @@ type Metrics struct {
 	RejectedBatches   atomic.Int64 // backpressure 503s
 	BadBatches        atomic.Int64 // malformed 400s
 	OversizedBatches  atomic.Int64 // 413s (client should split and retry)
-	PrunedCells       atomic.Int64 // windows removed by retention
+	PrunedCells       atomic.Int64 // windows deleted by legacy lossy retention
 	ProfileMerges     atomic.Int64 // fleet deltas accepted at POST /v1/profiles
 	ProfileSaves      atomic.Int64 // knowledge snapshots written to disk
 	ProfileSaveErrors atomic.Int64
+	CompactionCycles  atomic.Int64 // janitor compact+cap passes completed
+	StreamEvents      atomic.Int64 // /v1/stream deltas delivered (SSE + poll)
+	StreamDropped     atomic.Int64 // stream clients dropped as gone/too slow
+	StreamRejected    atomic.Int64 // stream subscriptions refused at the cap
 }
 
 // Server is a running ingest + query service.
@@ -147,12 +173,16 @@ type Server struct {
 	// batch-credit pool bounding outstanding batches (see pipeline.go).
 	pipes   []chan pipeJob
 	credits chan struct{}
-	ln      net.Listener
-	http    *http.Server
-	tcpLn   net.Listener
-	tcp     tcpConns
-	tcpWG   sync.WaitGroup
-	foldWG  sync.WaitGroup
+	// bcast fans fold/compaction activity out to /v1/stream
+	// subscribers. Nil on hand-built test servers — every use is
+	// nil-guarded.
+	bcast  *broadcaster
+	ln     net.Listener
+	http   *http.Server
+	tcpLn  net.Listener
+	tcp    tcpConns
+	tcpWG  sync.WaitGroup
+	foldWG sync.WaitGroup
 	// inflight counts ingest handlers past the draining check. A plain
 	// atomic (polled in Shutdown) rather than a WaitGroup: an abandoned
 	// WaitGroup.Wait from a timed-out drain could race a later Add from
@@ -217,6 +247,10 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.MaxCells != 0 {
 		s.store.SetMaxCells(cfg.MaxCells)
 	}
+	if window > 0 && cfg.CompactWindow > 0 {
+		s.store.EnableCompaction(cfg.CompactWindow)
+	}
+	s.bcast = newBroadcaster(cfg.StreamInterval, cfg.MaxSubscribers)
 	s.ageClampMS = maxEventAgeMS
 	if retMS := int64(cfg.Retention / time.Millisecond); window > 0 && retMS > 0 && retMS < s.ageClampMS {
 		s.ageClampMS = retMS
@@ -226,7 +260,9 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -264,9 +300,11 @@ func Start(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// janitor prunes windows older than the retention horizon, bounding a
-// long-running daemon's memory under benign steady traffic (the cell
-// cap handles the hostile case).
+// janitor bounds a long-running daemon's memory: with compaction
+// enabled (the default) expired windows demote losslessly into rollup
+// cells and the fine tier is re-capped globally; with it disabled
+// (CompactWindow < 0) the legacy lossy Prune runs, counted. Either
+// way the cell cap handles hostile key cardinality.
 func (s *Server) janitor(window, retention time.Duration) {
 	interval := window
 	if interval > time.Minute {
@@ -277,9 +315,20 @@ func (s *Server) janitor(window, retention time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			cutoff := time.Now().Add(-retention).UnixMilli()
-			if n := s.store.Prune(cutoff); n > 0 {
+			now := time.Now()
+			cutoff := now.Add(-retention).UnixMilli()
+			if s.store.CompactionEnabled() {
+				cells, _ := s.store.Compact(cutoff)
+				cells += s.store.EnforceCap(now.UnixMilli())
+				s.metrics.CompactionCycles.Add(1)
+				if cells > 0 && s.bcast != nil {
+					s.bcast.poke()
+				}
+			} else if n := s.store.Prune(cutoff); n > 0 {
 				s.metrics.PrunedCells.Add(int64(n))
+				if s.bcast != nil {
+					s.bcast.poke()
+				}
 			}
 		case <-s.janitorStop:
 			return
@@ -358,6 +407,22 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"oversized_batches":  s.metrics.OversizedBatches.Load(),
 		"dropped_summaries":  s.store.Dropped(),
 		"pruned_cells":       s.metrics.PrunedCells.Load(),
+		// Retention accounting: every cell that leaves the fine tier is
+		// either compacted (janitor, lossless), evicted (cap pressure,
+		// lossless), or — legacy mode only — pruned (lossy). Sessions
+		// demoted into rollups are preserved, not lost; a nonzero
+		// rollup_merge_errors would mean loss and is therefore counted.
+		"compacted_cells":     s.store.Compacted(),
+		"compacted_sessions":  s.store.CompactedSessions(),
+		"evicted_cells":       s.store.Evicted(),
+		"rollup_cells":        s.store.RollupCells(),
+		"rollup_merge_errors": s.store.RollupErrors(),
+		"compaction_cycles":   s.metrics.CompactionCycles.Load(),
+		"stream_events":       s.metrics.StreamEvents.Load(),
+		"stream_coalesced":    s.streamCoalesced(),
+		"stream_dropped":      s.metrics.StreamDropped.Load(),
+		"stream_rejected":     s.metrics.StreamRejected.Load(),
+		"stream_subscribers":  s.streamSubscribers(),
 		// Knowledge-store accounting: learned profiles live in the
 		// store, mints refused at the model cap are counted, not
 		// silently dropped.
@@ -367,6 +432,22 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"profile_saves":       s.metrics.ProfileSaves.Load(),
 		"profile_save_errors": s.metrics.ProfileSaveErrors.Load(),
 	}
+}
+
+// streamSubscribers / streamCoalesced tolerate a nil broadcaster
+// (hand-built test servers never start one).
+func (s *Server) streamSubscribers() int64 {
+	if s.bcast == nil {
+		return 0
+	}
+	return s.bcast.count()
+}
+
+func (s *Server) streamCoalesced() int64 {
+	if s.bcast == nil {
+		return 0
+	}
+	return s.bcast.coalesced.Load()
 }
 
 // Shutdown drains gracefully: stop accepting, let in-flight handlers
@@ -379,6 +460,13 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.janitorOnce.Do(func() { close(s.janitorStop) })
+	// Drain the stream before http.Shutdown: SSE handlers hold their
+	// connections open forever, so Shutdown would wait on them until its
+	// context expired. The drain signal makes each handler flush its
+	// final deltas, emit a drain event, and return.
+	if s.bcast != nil {
+		s.bcast.shutdown()
+	}
 	// Stop the raw TCP wire first: close the listener, then force-close
 	// live connections — their frame loops observe draining (answering
 	// busy) or error out of the blocked read; either way they exit, and
@@ -653,7 +741,12 @@ func (st *Store) StatsQuery(r Rollup) ([]CellStats, error) {
 			}
 			sh.mu.Unlock()
 		}
-		sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+		st.rollupMu.Lock()
+		for _, c := range st.rollups {
+			out = append(out, StatsFor(c))
+		}
+		st.rollupMu.Unlock()
+		sortCellStats(out)
 		return out, nil
 	}
 	cells, err := st.Query(r)
@@ -665,6 +758,37 @@ func (st *Store) StatsQuery(r Rollup) ([]CellStats, error) {
 		out = append(out, StatsFor(c))
 	}
 	return out, nil
+}
+
+// cellFilter is the key filter /stats and /v1/stream share: empty
+// fields match everything; set fields must match exactly.
+type cellFilter struct {
+	device, group, scenario string
+}
+
+func filterFromQuery(q map[string][]string) cellFilter {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	return cellFilter{device: get("device"), group: get("group"), scenario: get("scenario")}
+}
+
+func (f cellFilter) empty() bool { return f == cellFilter{} }
+
+func (f cellFilter) match(k Key) bool {
+	if f.device != "" && k.Device != f.device {
+		return false
+	}
+	if f.group != "" && k.Group != f.group {
+		return false
+	}
+	if f.scenario != "" && k.Scenario != f.scenario {
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -681,6 +805,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if f := filterFromQuery(r.URL.Query()); !f.empty() {
+		kept := cellStats[:0]
+		for _, c := range cellStats {
+			if f.match(c.Key) {
+				kept = append(kept, c)
+			}
+		}
+		cellStats = kept
 	}
 	resp := StatsResponse{Rollup: rollup, WindowMS: s.store.windowMS, Cells: cellStats,
 		Counters: s.MetricsSnapshot()}
@@ -734,7 +867,16 @@ func RenderStats(resp StatsResponse) string {
 				c.FamilySessions, c.GlobalSessions, c.Uncorrected),
 			fmt.Sprintf("%d/%d", c.PSMActiveSessions, c.Sessions))
 	}
-	return t.String()
+	out := t.String()
+	// Footer: where the history that is *not* in the table went. Only
+	// pruned cells are loss; compacted/evicted cells live on in rollups.
+	if c := resp.Counters; c != nil {
+		out += fmt.Sprintf(
+			"retention: compacted=%d cells (%d sessions, lossless) evicted=%d rollups=%d pruned=%d (lossy) cap-dropped=%d summaries\n",
+			c["compacted_cells"], c["compacted_sessions"], c["evicted_cells"],
+			c["rollup_cells"], c["pruned_cells"], c["dropped_summaries"])
+	}
+	return out
 }
 
 func cellLabel(k Key, r Rollup) string {
@@ -744,6 +886,9 @@ func cellLabel(k Key, r Rollup) string {
 	case RollupDevice:
 		return k.Device
 	case RollupWindow:
+		if k.WindowMS < 0 {
+			return "all-time" // identity-collapsed overflow rollup
+		}
 		return time.UnixMilli(k.WindowMS).UTC().Format("15:04:05")
 	default:
 		parts := []string{k.Group}
@@ -753,7 +898,9 @@ func cellLabel(k Key, r Rollup) string {
 		if k.Scenario != "" {
 			parts = append(parts, k.Scenario)
 		}
-		if k.WindowMS != 0 {
+		if k.WindowMS < 0 {
+			parts = append(parts, "all-time")
+		} else if k.WindowMS != 0 {
 			parts = append(parts, time.UnixMilli(k.WindowMS).UTC().Format("15:04:05"))
 		}
 		return strings.Join(parts, "/")
@@ -858,7 +1005,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_cap": cap(s.credits),
 		"window_ms": s.store.windowMS,
 		"cells":     s.store.Cells(),
-		"counters":  s.MetricsSnapshot(),
+		// Retention + stream gauges: resident fine cells vs their cap,
+		// the rollup tier holding compacted history, and live stream
+		// subscribers.
+		"max_cells":    s.store.MaxCells(),
+		"rollup_cells": s.store.RollupCells(),
+		"rollup_ms":    s.store.RollupWindow(),
+		"subscribers":  s.streamSubscribers(),
+		"counters":     s.MetricsSnapshot(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -64,6 +64,19 @@ type Cell struct {
 	FamilySessions      int64 `json:"family_sessions,omitempty"`
 	GlobalSessions      int64 `json:"global_sessions,omitempty"`
 	UncorrectedSessions int64 `json:"uncorrected_sessions"`
+
+	// Epoch is the store-wide monotonic version stamped on the cell's
+	// last mutation — the /v1/stream delta cursor: a cell whose Epoch
+	// exceeds a client's cursor has changed since that client last
+	// looked. Excluded from JSON: it is runtime scheduling state, not
+	// aggregate data, and depends on fold interleaving (two stores fed
+	// the same stream must serialize identically).
+	Epoch int64 `json:"-"`
+	// SpanMS is the window width this cell covers: 0 for fine-grained
+	// cells (one store window), the rollup width for compacted rollup
+	// cells, and -1 for the identity-collapsed overflow cell (all
+	// time). See retention.go.
+	SpanMS int64 `json:"span_ms,omitempty"`
 }
 
 func newCell(k Key) *Cell {
@@ -184,6 +197,9 @@ func (c *Cell) Merge(o *Cell) error {
 	if err := c.PuncturedHist.CheckGeometry(o.PuncturedHist); err != nil {
 		return err
 	}
+	if o.Epoch > c.Epoch {
+		c.Epoch = o.Epoch
+	}
 	c.Sessions += o.Sessions
 	c.ProbesSent += o.ProbesSent
 	c.ProbesLost += o.ProbesLost
@@ -242,7 +258,34 @@ type Store struct {
 	maxCells int64
 	cells    atomic.Int64
 	dropped  atomic.Int64 // summaries refused because the cell cap was hit
-	shards   []storeShard
+	// epoch is the store-wide mutation counter: every cell fold, merge,
+	// compaction, or removal bumps it, and /v1/stream cursors are read
+	// against it (see DeltasSince in stream.go).
+	epoch  atomic.Int64
+	shards []storeShard
+
+	// Lossless-retention state (see retention.go). rollupMS > 0 turns
+	// expired-window compaction on: fine cells past the retention
+	// cutoff merge into coarse rollup cells instead of being deleted,
+	// and cap pressure evicts the coldest fine cells the same way.
+	// rollupMu is a leaf lock: it is taken while holding a shard lock
+	// (fold-time eviction) but never the reverse.
+	rollupMS          int64
+	rollupMu          sync.Mutex
+	rollups           map[Key]*Cell
+	rollupN           atomic.Int64
+	evicted           atomic.Int64 // fine cells folded into rollups at the cap
+	compacted         atomic.Int64 // fine cells folded into rollups by retention
+	compactedSessions atomic.Int64 // sessions carried by compacted/evicted cells
+	rollupErrors      atomic.Int64 // rollup merges refused (geometry mismatch — never expected)
+
+	// Removal log: every cell deleted from the fine or rollup maps
+	// (compaction, eviction, overflow collapse, prune) is recorded with
+	// its removal epoch so stream clients can retract stale rows. The
+	// log is bounded; a cursor older than its floor forces a resync.
+	removalMu    sync.Mutex
+	removals     []removal
+	removalFloor int64
 }
 
 type storeShard struct {
@@ -288,10 +331,17 @@ func (st *Store) SetMaxCells(n int64) {
 	st.maxCells = n
 }
 
-// Cells returns the live distinct-cell count; Dropped returns the
-// summaries refused at the cap.
+// Cells returns the live distinct fine-grained cell count; Dropped
+// returns the summaries refused at the cap.
 func (st *Store) Cells() int64   { return st.cells.Load() }
 func (st *Store) Dropped() int64 { return st.dropped.Load() }
+
+// MaxCells returns the configured distinct-cell cap.
+func (st *Store) MaxCells() int64 { return st.maxCells }
+
+// Epoch returns the store's current mutation epoch — the cursor a
+// stream client starts from to receive only future changes.
+func (st *Store) Epoch() int64 { return st.epoch.Load() }
 
 // WindowFor buckets an event time (Unix ms) to its window start.
 func (st *Store) WindowFor(timeMS int64) int64 {
@@ -354,56 +404,76 @@ func (st *Store) KeyFor(s *Summary) Key {
 	}
 }
 
-// Fold routes one summary into its cell under the stripe lock. It
-// reports false when the summary would mint a new cell past the cap —
-// existing cells keep folding, so a cardinality attack degrades only
-// attack traffic, not the census already being served.
+// Fold routes one summary into its cell under the stripe lock. When
+// the summary would mint a new cell past the cap, compaction-enabled
+// stores first try to evict the coldest strictly-older-window cell
+// into its rollup (lossless — see retention.go): this shard's first,
+// then any shard's, since hashing can strand all the cold cells in
+// other shards. Only if nothing older exists anywhere (or compaction
+// is off) is the summary dropped and counted, so a same-window
+// cardinality attack degrades only attack traffic, not the census
+// already being served.
 func (st *Store) Fold(s *Summary, corr time.Duration, src CorrectionSource) bool {
 	k := st.KeyFor(s)
 	sh := st.shardFor(k)
-	sh.mu.Lock()
-	c, ok := sh.cells[k]
-	if !ok {
-		if st.cells.Load() >= st.maxCells {
-			sh.mu.Unlock()
-			st.dropped.Add(1)
-			return false
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		c, ok := sh.cells[k]
+		if !ok {
+			if st.cells.Load() >= st.maxCells && !st.evictColdestLocked(sh, k.WindowMS) {
+				sh.mu.Unlock()
+				// The cold cells may live in other shards; evict
+				// globally (no shard lock held) and retry the mint
+				// once — a concurrent fold may reclaim the slot.
+				if attempt == 0 && st.evictColdestGlobal(k.WindowMS) {
+					continue
+				}
+				st.dropped.Add(1)
+				return false
+			}
+			c = newCell(k)
+			sh.cells[k] = c
+			st.cells.Add(1)
 		}
-		c = newCell(k)
-		sh.cells[k] = c
-		st.cells.Add(1)
+		c.fold(s, corr, src)
+		c.Epoch = st.epoch.Add(1)
+		sh.mu.Unlock()
+		return true
 	}
-	c.fold(s, corr, src)
-	sh.mu.Unlock()
-	return true
 }
 
 // Prune deletes every cell whose window closed at or before cutoffMS
-// (Unix ms), returning how many were removed. A no-op when time
-// bucketing is off — the single eternal window is the caller's choice.
+// (Unix ms), returning how many were removed. This is the lossy legacy
+// janitor (compaction-enabled stores use Compact instead); removals
+// are still logged so stream clients retract the rows. A no-op when
+// time bucketing is off — the single eternal window is the caller's
+// choice.
 func (st *Store) Prune(cutoffMS int64) int {
 	if st.windowMS <= 0 {
 		return 0
 	}
-	n := 0
+	var removedKeys []Key
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
 		for k := range sh.cells {
 			if k.WindowMS+st.windowMS <= cutoffMS {
 				delete(sh.cells, k)
-				n++
+				removedKeys = append(removedKeys, k)
 			}
 		}
 		sh.mu.Unlock()
 	}
-	st.cells.Add(int64(-n))
-	return n
+	st.cells.Add(int64(-len(removedKeys)))
+	for _, k := range removedKeys {
+		st.logRemoval(k)
+	}
+	return len(removedKeys)
 }
 
-// Snapshot deep-copies every cell, sorted by (group, device, scenario,
-// window). Consistent per stripe, not across stripes — the right trade
-// for serving queries while folds continue.
+// Snapshot deep-copies every cell — fine-grained and rollup — sorted by
+// (group, device, scenario, window). Consistent per stripe, not across
+// stripes — the right trade for serving queries while folds continue.
 func (st *Store) Snapshot() []*Cell {
 	var out []*Cell
 	for i := range st.shards {
@@ -414,6 +484,11 @@ func (st *Store) Snapshot() []*Cell {
 		}
 		sh.mu.Unlock()
 	}
+	st.rollupMu.Lock()
+	for _, c := range st.rollups {
+		out = append(out, c.clone())
+	}
+	st.rollupMu.Unlock()
 	sortCells(out)
 	return out
 }
@@ -477,7 +552,9 @@ func (r Rollup) reduce(k Key) Key {
 	}
 }
 
-// Query merges cells down to the rollup's dimensions. RollupCell
+// Query merges cells down to the rollup's dimensions — retention
+// rollup cells included, so aged queries transparently read compacted
+// history alongside the live fine-grained windows. RollupCell
 // deep-copies (the caller gets every cell); every other rollup merges
 // each live cell straight into its accumulator under the stripe lock —
 // Merge only reads its argument, so no per-cell clone of the two 1000-
@@ -488,23 +565,34 @@ func (st *Store) Query(r Rollup) ([]*Cell, error) {
 		return st.Snapshot(), nil
 	}
 	merged := map[Key]*Cell{}
+	mergeInto := func(c *Cell) error {
+		k := r.reduce(c.Key)
+		dst, ok := merged[k]
+		if !ok {
+			dst = newCell(k)
+			merged[k] = dst
+		}
+		return dst.Merge(c)
+	}
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
 		for _, c := range sh.cells {
-			k := r.reduce(c.Key)
-			dst, ok := merged[k]
-			if !ok {
-				dst = newCell(k)
-				merged[k] = dst
-			}
-			if err := dst.Merge(c); err != nil {
+			if err := mergeInto(c); err != nil {
 				sh.mu.Unlock()
 				return nil, err
 			}
 		}
 		sh.mu.Unlock()
 	}
+	st.rollupMu.Lock()
+	for _, c := range st.rollups {
+		if err := mergeInto(c); err != nil {
+			st.rollupMu.Unlock()
+			return nil, err
+		}
+	}
+	st.rollupMu.Unlock()
 	out := make([]*Cell, 0, len(merged))
 	for _, c := range merged {
 		out = append(out, c)
