@@ -73,11 +73,16 @@ e2e-churn:
 	$(GO) test -count=1 -run 'TestChurnSteadyState|TestStreamDeltasReproduceStats' -v ./internal/ingest
 	$(GO) run ./cmd/acutemon-ingestd -churn 12 -churn-keys 64 -window 500ms -retention 2s
 
+# lint = formatting + go vet + the project-invariant analyzer suite.
+# acutemon-vet is the hard gate on the repo's own safety rules (sim
+# determinism, decode bounds, lock discipline, atomic consistency,
+# context-first); see README "Static analysis" for codes and waivers.
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+	$(GO) run ./cmd/acutemon-vet ./...
 
 fmt:
 	gofmt -w .

@@ -351,7 +351,16 @@ type (
 	CampaignParams = fleet.Params
 )
 
+// RunCampaignContext executes a fleet campaign under ctx and returns
+// the merged report; cancellation stops dispatch at the next session
+// boundary and yields a partial report with Interrupted set.
+func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignReport, error) {
+	return fleet.RunContext(ctx, c)
+}
+
 // RunCampaign executes a fleet campaign and returns the merged report.
+// A context, if any, rides Campaign.Context; new code prefers
+// RunCampaignContext.
 func RunCampaign(c Campaign) (*CampaignReport, error) { return fleet.Run(c) }
 
 // CampaignScenarios lists the built-in campaign presets (device-model

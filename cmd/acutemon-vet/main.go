@@ -1,0 +1,106 @@
+// Command acutemon-vet runs the project-invariant analyzer suite
+// (internal/analyzers) over the module and reports violations with
+// file:line diagnostics. It is the static half of `make lint` and a
+// hard CI gate: exit 0 means every invariant holds (or is explicitly
+// waived with a reasoned //acutemon:ignore), exit 1 means findings,
+// exit 2 means the run itself failed.
+//
+// Usage:
+//
+//	acutemon-vet [flags] [packages]
+//
+//	  -json             machine-readable report (schema: internal/analyzers.Report)
+//	  -list             print the analyzer table and exit
+//	  -show-suppressed  also print waived findings with their reasons
+//	  -C dir            run as if launched from dir
+//	  -fixture d:path   analyze the single directory d as import path path
+//	                    (how the golden fixtures are driven end to end)
+//
+// packages default to ./... and accept the go list pattern syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acutemon-vet", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut        = fs.Bool("json", false, "emit the machine-readable report")
+		list           = fs.Bool("list", false, "list analyzers and exit")
+		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings")
+		dir            = fs.String("C", ".", "directory to run in")
+		fixture        = fs.String("fixture", "", "analyze one directory as dir:importpath, outside the build graph")
+	)
+	fs.Parse(args)
+
+	suite := analyzers.Suite()
+	if *list {
+		tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
+		for _, a := range suite {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", a.Code(), a.Name(), a.Doc())
+		}
+		tw.Flush()
+		return 0
+	}
+
+	var (
+		mod *analyzers.Module
+		err error
+	)
+	if *fixture != "" {
+		fdir, asPath, ok := strings.Cut(*fixture, ":")
+		if !ok {
+			fmt.Fprintln(stderr, "acutemon-vet: -fixture wants dir:importpath")
+			return 2
+		}
+		mod, err = analyzers.LoadDir(fdir, asPath)
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		mod, err = analyzers.Load(*dir, patterns)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "acutemon-vet:", err)
+		return 2
+	}
+	diags := analyzers.Run(mod, suite)
+	report := analyzers.NewReport(diags)
+
+	if *jsonOut {
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "acutemon-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range report.Findings {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if *showSuppressed {
+			for _, d := range report.Suppressed {
+				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", d.String(), d.Reason)
+			}
+		}
+		if n := len(report.Findings); n > 0 {
+			fmt.Fprintf(stderr, "acutemon-vet: %d finding(s) across %d package(s)\n", n, len(mod.Pkgs))
+		}
+	}
+	if len(report.Findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AM001 enforces sim determinism: the simulated testbeds must produce
+// bit-identical results for a given seed (the PR-4 contract that keeps
+// golden examples and the ingest e2e determinism fixtures meaningful).
+// Three mechanically detectable ways a change breaks that:
+//
+//   - time.Now — wall-clock reads in a sim path make results depend on
+//     the host; sim code reads the Sim clock.
+//   - the global math/rand source — process-seeded, shared across
+//     goroutines; sim code draws from its seeded *rand.Rand.
+//   - emitting output in map iteration order — Go randomizes it per
+//     run; collect keys and sort before appending or printing.
+type AM001 struct{}
+
+func (AM001) Code() string { return "AM001" }
+func (AM001) Name() string { return "sim-determinism" }
+func (AM001) Doc() string {
+	return "sim paths must stay bit-deterministic: no time.Now, global math/rand, or map-ordered output"
+}
+
+// am001Scope is where determinism is load-bearing: the simulated clock
+// itself and the core measurement engine that runs on it.
+var am001Scope = []string{
+	"repro/internal/simtime",
+	"repro/internal/core",
+}
+
+// nondetRand is every math/rand package-level function that draws from
+// (or reseeds) the process-global source. Constructors (New, NewSource,
+// NewZipf) are fine: they are how sim code builds its seeded generator.
+var nondetRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+func (a AM001) Run(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
+		if !inScope(pkg.Path, am001Scope) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					obj := pkg.Info.Uses[n.Sel]
+					if isPkgFunc(obj, "time", "Now") {
+						report(m.Fset.Position(n.Pos()),
+							"time.Now in a sim path breaks bit-determinism; use the Sim clock")
+					}
+					if obj != nil && obj.Pkg() != nil &&
+						(obj.Pkg().Path() == "math/rand" || obj.Pkg().Path() == "math/rand/v2") &&
+						nondetRand[obj.Name()] && isPackageLevelFunc(obj) {
+						report(m.Fset.Position(n.Pos()),
+							fmt.Sprintf("global math/rand.%s is process-seeded; draw from the session's seeded *rand.Rand", obj.Name()))
+					}
+				case *ast.BlockStmt:
+					a.checkMapOrder(m, pkg, n.List, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPackageLevelFunc distinguishes rand.Intn (global source) from the
+// identically-named methods on a seeded *rand.Rand.
+func isPackageLevelFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkMapOrder flags map-range loops whose iteration order escapes
+// into output: printing inside the loop, or appending to a slice
+// declared outside the loop that is not sorted later in the same
+// block. The fix idiom — collect keys, sort, iterate the slice — is
+// recognized and not flagged.
+func (a AM001) checkMapOrder(m *Module, pkg *Package, stmts []ast.Stmt, report func(token.Position, string)) {
+	for i, stmt := range stmts {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		collected := map[types.Object]bool{}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObj(pkg.Info, n); obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "fmt" && obj.Name() != "Errorf" && obj.Name() != "Sprintf" {
+					report(m.Fset.Position(n.Pos()),
+						"output emitted in map iteration order is nondeterministic; collect keys and sort first")
+				}
+			case *ast.AssignStmt:
+				// x = append(x, ...) where x lives outside the loop.
+				for j, rhs := range n.Rhs {
+					call, ok := unparen(rhs).(*ast.CallExpr)
+					if !ok || len(n.Lhs) <= j {
+						continue
+					}
+					fn, ok := unparen(call.Fun).(*ast.Ident)
+					if !ok || fn.Name != "append" {
+						continue
+					}
+					if _, isBuiltin := pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+						continue
+					}
+					id, ok := unparen(n.Lhs[j]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Uses[id]
+					if obj == nil {
+						obj = pkg.Info.Defs[id]
+					}
+					if obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+						collected[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		for obj := range collected {
+			if !a.sortedLater(pkg, stmts[i+1:], obj) {
+				report(m.Fset.Position(rs.Pos()),
+					fmt.Sprintf("%s is filled in map iteration order and never sorted; sort it before use", obj.Name()))
+			}
+		}
+	}
+}
+
+// sortedLater reports whether a later statement in the same block sorts
+// the collected slice (any sort.* / slices.Sort* call referencing it).
+func (AM001) sortedLater(pkg *Package, rest []ast.Stmt, obj types.Object) bool {
+	target := map[types.Object]bool{obj: true}
+	for _, stmt := range rest {
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			cobj := calleeObj(pkg.Info, call)
+			if cobj == nil || cobj.Pkg() == nil {
+				return true
+			}
+			if p := cobj.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesObject(pkg.Info, arg, target) {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,388 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AM003 enforces the stripe-lock discipline: a goroutine never
+// acquires one shard's mutex while holding another's. The PR-7
+// cross-shard eviction bug is the motivating class — holding shard A's
+// lock while locking shard B deadlocks against the same code running
+// A and B swapped, and the fix ("first shard-local under the shard
+// lock, then cross-shard with no nested locks") is exactly the rule
+// this analyzer mechanizes.
+//
+// A "shard lock" is a sync.Mutex/RWMutex field reached through an
+// element of a slice or array of lockable structs (`st.shards[i].mu`),
+// directly or via a handle returned by a *shard*-named helper
+// (`sh := st.shardFor(key)`). Plain leaf locks (rollupMu, removalMu)
+// are exempt: the documented hierarchy permits leaf-under-shard.
+//
+// The walk is branch-aware but intra-function and intentionally
+// conservative: an if-branch that unlocks is assumed taken (held sets
+// intersect across branches), goroutine bodies start lock-free, and a
+// deferred Unlock keeps its lock held to function end.
+type AM003 struct{}
+
+func (AM003) Code() string { return "AM003" }
+func (AM003) Name() string { return "lock-discipline" }
+func (AM003) Doc() string {
+	return "never acquire a shard/stripe mutex while another shard's lock is held"
+}
+
+func (a AM003) Run(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{m: m, pkg: pkg, report: report, handles: map[types.Object]string{}}
+				w.stmts(fd.Body.List, nil)
+			}
+		}
+	}
+}
+
+// heldLock is one shard lock currently held on the walked path.
+type heldLock struct {
+	key    string // identity of the lock expression (handle object or rendered expr)
+	family string // shard struct type, for the diagnostic text
+}
+
+type lockWalker struct {
+	m      *Module
+	pkg    *Package
+	report func(token.Position, string)
+	// handles maps local variables to the shard family they point at
+	// (`sh := st.shardFor(model)` / `sh := &st.shards[i]`).
+	handles map[types.Object]string
+}
+
+// stmts walks a statement list with the entry held-set and returns the
+// held-set at its end.
+func (w *lockWalker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func copyHeld(h []heldLock) []heldLock {
+	return append([]heldLock(nil), h...)
+}
+
+// intersect keeps locks held on both paths — the conservative merge
+// that prefers a missed finding over a false one.
+func intersect(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, x := range a {
+		for _, y := range b {
+			if x.key == y.key {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// terminates reports whether a block always leaves the enclosing
+// function or loop (return / break / continue / goto / panic).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.trackHandles(s)
+		w.walkExprs(s.Rhs, held)
+	case *ast.ExprStmt:
+		held = w.exprLocks(s.X, held)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() pins the lock to function end: leave it
+		// held. defer of anything else is walked as a closure that may
+		// run with the current held set.
+		if w.lockCall(s.Call) == nil {
+			w.walkExprs([]ast.Expr{s.Call.Fun}, held)
+			w.walkExprs(s.Call.Args, held)
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine holds nothing; nesting is per-goroutine.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, nil)
+		}
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		bodyHeld := w.stmts(s.Body.List, copyHeld(held))
+		var elseHeld []heldLock
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseHeld = w.stmts(e.List, copyHeld(held))
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseHeld = w.stmt(e, copyHeld(held))
+		case nil:
+			elseHeld = held
+		}
+		switch {
+		case terminates(s.Body.List) && elseTerm:
+			// Both paths leave; whatever follows is unreachable from here.
+		case terminates(s.Body.List):
+			held = elseHeld
+		case elseTerm:
+			held = bodyHeld
+		default:
+			held = intersect(bodyHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, copyHeld(held))
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		w.walkExprs(s.Results, held)
+	}
+	return held
+}
+
+// walkExprs visits nested function literals with the current held set
+// (callbacks are assumed synchronous — the conservative direction for
+// lock nesting) and checks any lock calls inside expressions.
+func (w *lockWalker) walkExprs(list []ast.Expr, held []heldLock) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, copyHeld(held))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// exprLocks processes one expression statement: Lock/RLock acquisitions
+// against the held set, Unlock/RUnlock releases, and closures.
+func (w *lockWalker) exprLocks(e ast.Expr, held []heldLock) []heldLock {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		w.walkExprs([]ast.Expr{e}, held)
+		return held
+	}
+	lk := w.lockCall(call)
+	if lk == nil {
+		w.walkExprs([]ast.Expr{call.Fun}, held)
+		w.walkExprs(call.Args, held)
+		return held
+	}
+	if lk.acquire {
+		if len(held) > 0 {
+			other := held[len(held)-1]
+			w.report(w.m.Fset.Position(call.Pos()), fmt.Sprintf(
+				"acquiring %s lock while %s lock is held; release the first stripe before touching another",
+				lk.family, other.family))
+		}
+		return append(held, heldLock{key: lk.key, family: lk.family})
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == lk.key {
+			return append(copyHeld(held[:i]), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockInfo describes one recognized shard-lock call site.
+type lockInfo struct {
+	acquire bool
+	key     string
+	family  string
+}
+
+// lockCall recognizes `<shard>.mu.Lock()` / `.RLock()` / `.Unlock()` /
+// `.RUnlock()` where <shard> is shard-shaped, returning nil otherwise.
+func (w *lockWalker) lockCall(call *ast.CallExpr) *lockInfo {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	// Receiver must be a sync.Mutex / sync.RWMutex selector.
+	muSel, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if !isSyncLock(w.pkg.Info.Types[muSel].Type) {
+		return nil
+	}
+	base := unparen(muSel.X)
+	switch b := base.(type) {
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[b]
+		if obj == nil {
+			return nil
+		}
+		family, ok := w.handles[obj]
+		if !ok {
+			return nil
+		}
+		return &lockInfo{acquire: acquire, key: fmt.Sprintf("h%p", obj), family: family}
+	case *ast.IndexExpr:
+		if fam, ok := w.shardElemFamily(b); ok {
+			return &lockInfo{acquire: acquire, key: types.ExprString(b), family: fam}
+		}
+	}
+	return nil
+}
+
+func isSyncLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// shardElemFamily reports whether idx indexes a slice/array of structs
+// that embed a lock — the stripe-array shape — and names the element.
+func (w *lockWalker) shardElemFamily(idx *ast.IndexExpr) (string, bool) {
+	tv, ok := w.pkg.Info.Types[idx.X]
+	if !ok {
+		return "", false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Pointer:
+		switch t2 := t.Elem().Underlying().(type) {
+		case *types.Slice:
+			elem = t2.Elem()
+		case *types.Array:
+			elem = t2.Elem()
+		}
+	}
+	if elem == nil {
+		return "", false
+	}
+	strct, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		if isSyncLock(strct.Field(i).Type()) {
+			return shortType(elem), true
+		}
+	}
+	return "", false
+}
+
+// trackHandles records `sh := st.shardFor(k)` / `sh := &st.shards[i]`
+// so later `sh.mu.Lock()` is recognized as a shard lock.
+func (w *lockWalker) trackHandles(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		rhs := unparen(s.Rhs[i])
+		if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			rhs = unparen(ue.X)
+		}
+		switch r := rhs.(type) {
+		case *ast.IndexExpr:
+			if fam, ok := w.shardElemFamily(r); ok {
+				w.handles[obj] = fam
+				continue
+			}
+		case *ast.CallExpr:
+			if cobj := calleeObj(w.pkg.Info, r); cobj != nil &&
+				strings.Contains(strings.ToLower(cobj.Name()), "shard") {
+				w.handles[obj] = shortType(w.pkg.Info.Types[r].Type)
+				continue
+			}
+		}
+		delete(w.handles, obj)
+	}
+}
+
+// shortType renders a type without its package path for diagnostics.
+func shortType(t types.Type) string {
+	if t == nil {
+		return "shard"
+	}
+	s := t.String()
+	s = strings.TrimPrefix(s, "*")
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AM004 enforces atomic consistency: a variable or struct field whose
+// address is ever passed to a sync/atomic function must be accessed
+// through sync/atomic everywhere — one plain load next to an atomic
+// store is a data race the race detector only catches when the
+// schedule cooperates. (The typed atomic.Int64-style wrappers make
+// this impossible by construction and are the preferred fix; this
+// check exists for the function-style call sites.)
+//
+// The pass is module-wide: uses are collected across every package
+// first, then every plain access to a collected target is reported.
+type AM004 struct{}
+
+func (AM004) Code() string { return "AM004" }
+func (AM004) Name() string { return "atomic-consistency" }
+func (AM004) Doc() string {
+	return "a field accessed via sync/atomic anywhere must never be read or written plainly"
+}
+
+func (a AM004) Run(m *Module, report func(token.Position, string)) {
+	// Phase 1: every &target handed to a sync/atomic call, module-wide.
+	// Targets are keyed by a package-path + name + declaration-position
+	// string so the same field keys identically whether seen from its
+	// defining package or through export data.
+	targets := map[string]token.Position{} // key → one atomic call site (for the message)
+	inAtomic := map[ast.Node]bool{}        // identifier nodes appearing inside atomic calls
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(an ast.Node) bool {
+						switch an := an.(type) {
+						case *ast.SelectorExpr:
+							inAtomic[an.Sel] = true
+						case *ast.Ident:
+							inAtomic[an] = true
+						}
+						return true
+					})
+					ue, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					if obj := addressedObj(pkg.Info, unparen(ue.X)); obj != nil {
+						if key := objKey(m.Fset, obj); key != "" {
+							if _, seen := targets[key]; !seen {
+								targets[key] = m.Fset.Position(call.Pos())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// Phase 2: any access to a target outside an atomic call argument.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			// A selector's Sel ident is visited again as a plain Ident;
+			// remember it so each access reports once.
+			asSelector := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var id *ast.Ident
+				var obj types.Object
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					id = n.Sel
+					asSelector[n.Sel] = true
+					if sel, ok := pkg.Info.Selections[n]; ok {
+						obj = sel.Obj()
+					} else {
+						obj = pkg.Info.Uses[n.Sel]
+					}
+				case *ast.Ident:
+					if asSelector[n] {
+						return true
+					}
+					id = n
+					obj = pkg.Info.Uses[n]
+				default:
+					return true
+				}
+				if obj == nil || inAtomic[id] {
+					return true
+				}
+				key := objKey(m.Fset, obj)
+				if key == "" {
+					return true
+				}
+				site, hot := targets[key]
+				if !hot {
+					return true
+				}
+				report(m.Fset.Position(id.Pos()), fmt.Sprintf(
+					"plain access to %s, which is accessed via sync/atomic at %s:%d; use sync/atomic (or an atomic.Int64-style field) everywhere",
+					obj.Name(), trimPath(site.Filename), site.Line))
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (the address-taking API, not the typed wrappers).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Typed-wrapper methods (atomic.Int64.Add) have receivers; the
+	// hazard is only the package-level &x functions.
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// addressedObj resolves the operand of & to a trackable variable: a
+// struct field via selection, or a plain (possibly package-level) var.
+func addressedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.IndexExpr:
+		// &arr[i] — key the backing variable, best effort.
+		return addressedObj(info, unparen(e.X))
+	}
+	return nil
+}
+
+// objKey builds a cross-package-stable identity for a variable: the
+// defining position survives the source-check/export-data divide
+// because export data records declaration positions.
+func objKey(fset *token.FileSet, obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return ""
+	}
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	pos := fset.Position(v.Pos())
+	return fmt.Sprintf("%s.%s@%s:%d", pkg, v.Name(), trimPath(pos.Filename), pos.Line)
+}
+
+// trimPath keeps the last two path segments so keys and messages stay
+// readable and independent of the checkout root.
+func trimPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

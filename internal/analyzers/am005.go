@@ -1,0 +1,213 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AM005 enforces the PR-4 session contract on the packages that carry
+// long-running work: an exported API that can block takes a
+// context.Context, and it takes it as the first parameter. Two rules:
+//
+//  1. a context.Context parameter anywhere but first is a finding
+//     (the Go convention the whole pipeline standardized on);
+//  2. an exported function or method that blocks — select, channel
+//     send/receive, time.Sleep, WaitGroup/Cond Wait, dial/listen —
+//     with no context parameter at all is a finding.
+//
+// Blocking is judged on the function's own body; `go func(){...}`
+// bodies belong to the goroutine, not the API. Methods implementing
+// well-known stdlib interfaces (ServeHTTP, Read, Write, Close, Accept,
+// Flush) are exempt: their signatures are not ours to change.
+type AM005 struct{}
+
+func (AM005) Code() string { return "AM005" }
+func (AM005) Name() string { return "context-first" }
+func (AM005) Doc() string {
+	return "exported blocking APIs take context.Context as the first parameter"
+}
+
+// am005Scope: the session pipeline and the two packages that run it at
+// scale. (Leaf sim/driver packages predate the contract and block only
+// on the simulated clock.)
+var am005Scope = []string{
+	"repro/internal/session",
+	"repro/internal/fleet",
+	"repro/internal/ingest",
+}
+
+// interfaceSigs are method names whose shape is dictated by stdlib
+// interfaces.
+var interfaceSigs = map[string]bool{
+	"ServeHTTP": true, "Read": true, "Write": true, "Close": true,
+	"Accept": true, "Flush": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func (a AM005) Run(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
+		if !inScope(pkg.Path, am005Scope) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !exportedAPI(fd) {
+					continue
+				}
+				a.checkFunc(m, pkg, fd, report)
+			}
+		}
+	}
+}
+
+// exportedAPI reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.IsExported()
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.IsExported()
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+func (a AM005) checkFunc(m *Module, pkg *Package, fd *ast.FuncDecl, report func(token.Position, string)) {
+	// Locate any context.Context parameter and its position.
+	ctxIndex := -1
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		t := pkg.Info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(t) && ctxIndex < 0 {
+			ctxIndex = idx
+		}
+		idx += n
+	}
+	if ctxIndex > 0 {
+		report(m.Fset.Position(fd.Name.Pos()), fmt.Sprintf(
+			"%s takes context.Context at parameter %d; the contract is ctx first", fd.Name.Name, ctxIndex+1))
+		return
+	}
+	if ctxIndex == 0 {
+		return
+	}
+	if fd.Recv != nil && interfaceSigs[fd.Name.Name] {
+		return
+	}
+	if op, pos := a.firstBlockingOp(pkg, fd.Body); op != "" {
+		report(m.Fset.Position(fd.Name.Pos()), fmt.Sprintf(
+			"exported %s blocks (%s at line %d) but takes no context.Context; add ctx as the first parameter",
+			fd.Name.Name, op, m.Fset.Position(pos).Line))
+	}
+}
+
+// firstBlockingOp scans the function body (excluding goroutine and
+// closure bodies) for an operation that can block indefinitely.
+func (a AM005) firstBlockingOp(pkg *Package, body *ast.BlockStmt) (string, token.Pos) {
+	var op string
+	var at token.Pos
+	found := func(o string, p token.Pos) {
+		if op == "" {
+			op, at = o, p
+		}
+	}
+	// A select clause's comm statement is the select's operation, not an
+	// independent channel op; collect them so the walk below skips them.
+	commOps := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					commOps[cc.Comm] = true
+					// x := <-ch comm form: the receive sits in the stmt.
+					ast.Inspect(cc.Comm, func(cn ast.Node) bool {
+						if ue, ok := cn.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+							commOps[ue] = true
+						}
+						if ss, ok := cn.(*ast.SendStmt); ok {
+							commOps[ss] = true
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		if commOps[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // has default: non-blocking poll
+				}
+			}
+			found("select", n.Pos())
+		case *ast.SendStmt:
+			found("channel send", n.Pos())
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found("channel receive", n.Pos())
+			}
+		case *ast.CallExpr:
+			obj := calleeObj(pkg.Info, n)
+			if obj == nil {
+				return true
+			}
+			if isPkgFunc(obj, "time", "Sleep") {
+				found("time.Sleep", n.Pos())
+			}
+			if obj.Name() == "Wait" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				found("sync."+recvShort(obj)+".Wait", n.Pos())
+			}
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net" {
+				switch obj.Name() {
+				case "Dial", "DialTimeout", "Listen", "ListenPacket":
+					found("net."+obj.Name(), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return op, at
+}
+
+func recvShort(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return shortType(sig.Recv().Type())
+		}
+	}
+	return "?"
+}

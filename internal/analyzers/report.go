@@ -1,0 +1,54 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportVersion is bumped when the JSON schema below changes shape.
+const ReportVersion = 1
+
+// Report is the machine-readable result of one acutemon-vet run — the
+// `-json` schema, consumed by CI annotation tooling. Schema (stable;
+// see README "Static analysis"):
+//
+//	{
+//	  "version":    1,
+//	  "findings":   [{"code","file","line","col","message"}, ...],
+//	  "suppressed": [{..., "suppressed": true, "reason"}, ...]
+//	}
+//
+// findings are the diagnostics that gate the build (exit code 1 when
+// non-empty); suppressed are the //acutemon:ignore'd ones, kept so
+// tooling can audit waivers. Both lists are sorted by file, line,
+// column, code and may be empty (encoded as []).
+type Report struct {
+	Version    int          `json:"version"`
+	Findings   []Diagnostic `json:"findings"`
+	Suppressed []Diagnostic `json:"suppressed"`
+}
+
+// NewReport splits diagnostics into gating findings and audited
+// waivers.
+func NewReport(ds []Diagnostic) *Report {
+	r := &Report{
+		Version:    ReportVersion,
+		Findings:   []Diagnostic{},
+		Suppressed: []Diagnostic{},
+	}
+	for _, d := range ds {
+		if d.Suppressed {
+			r.Suppressed = append(r.Suppressed, d)
+		} else {
+			r.Findings = append(r.Findings, d)
+		}
+	}
+	return r
+}
+
+// WriteJSON emits the report, indented, with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportJSONRoundTrip pins the -json schema: version 1, findings
+// and suppressed split correctly, both present even when empty, and
+// the output parses back into the same shape.
+func TestReportJSONRoundTrip(t *testing.T) {
+	m, err := LoadDir(filepath.Join("testdata", "src", "am002"), "repro/internal/ingest/am002fix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	r := NewReport(Run(m, Suite()))
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if back.Version != ReportVersion {
+		t.Errorf("version = %d, want %d", back.Version, ReportVersion)
+	}
+	if len(back.Findings) != len(r.Findings) || len(back.Findings) == 0 {
+		t.Errorf("findings = %d, want %d (non-zero)", len(back.Findings), len(r.Findings))
+	}
+	if len(back.Suppressed) != len(r.Suppressed) || len(back.Suppressed) == 0 {
+		t.Errorf("suppressed = %d, want %d (non-zero)", len(back.Suppressed), len(r.Suppressed))
+	}
+	for _, d := range back.Findings {
+		if d.Code == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("finding missing fields: %+v", d)
+		}
+		if d.Suppressed || d.Reason != "" {
+			t.Errorf("finding carries suppression fields: %+v", d)
+		}
+	}
+	for _, d := range back.Suppressed {
+		if !d.Suppressed || d.Reason == "" {
+			t.Errorf("suppressed entry missing waiver fields: %+v", d)
+		}
+	}
+}
+
+// TestReportEmptyJSON pins that a clean run encodes findings and
+// suppressed as [] rather than null, so consumers can index blindly.
+func TestReportEmptyJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewReport(nil).WriteJSON(&buf); err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	s := buf.String()
+	if bytes.Contains(buf.Bytes(), []byte("null")) {
+		t.Errorf("empty report encodes null lists:\n%s", s)
+	}
+}

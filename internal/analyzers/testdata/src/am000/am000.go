@@ -1,0 +1,20 @@
+// Package am000fix exercises the suppression grammar itself: a
+// malformed waiver is an AM000 finding and waives nothing. Loaded
+// under a repro/internal/ingest import path so a live AM002 finding
+// can sit next to its broken waiver.
+package am000fix
+
+import "encoding/binary"
+
+// BadCode tries to waive with an invalid code; the waiver is flagged
+// and the finding it aimed at survives.
+func BadCode(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	//acutemon:ignore AM2 code must be AM0xx /* want "AM000: malformed suppression" */
+	return make([]byte, n) // want "AM002: allocation sized by wire-read value n"
+}
+
+// NoReason gives no justification; the waiver itself is the finding.
+func NoReason() {
+	_ = 0 /* want "AM000: suppression of AM003 without a reason" */ //acutemon:ignore AM003
+}

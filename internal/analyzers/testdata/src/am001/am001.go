@@ -1,0 +1,58 @@
+// Package am001fix is the AM001 golden fixture: sim-determinism
+// violations next to their fixed forms. golden_test.go loads it under
+// a repro/internal/simtime import path so the scope rule applies
+// exactly as it does on the real tree.
+package am001fix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock in a sim path.
+func Stamp() time.Time {
+	return time.Now() // want "AM001: time.Now in a sim path"
+}
+
+// Jitter draws from the process-global source.
+func Jitter() int {
+	return rand.Intn(100) // want "AM001: global math/rand.Intn is process-seeded"
+}
+
+// SeededJitter draws from an explicit seeded generator: the fixed form.
+func SeededJitter(r *rand.Rand) int {
+	return r.Intn(100)
+}
+
+// DumpOrder prints in map iteration order.
+func DumpOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "AM001: output emitted in map iteration order"
+	}
+}
+
+// CollectUnsorted fills a slice in map order and never sorts it.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "AM001: keys is filled in map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the fixed idiom: collect, then sort, then use.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WaivedStamp documents a deliberate wall-clock read.
+func WaivedStamp() time.Time {
+	return time.Now() /* wantsup "AM001: time.Now in a sim path" */ //acutemon:ignore AM001 fixture waiver: live-path timestamp kept for the suppressed golden case
+}

@@ -1,0 +1,72 @@
+// Package am002fix is the AM002 golden fixture: wire-read values
+// sizing allocations with and without the required cap check. Loaded
+// under a repro/internal/ingest import path so the scope rule applies.
+package am002fix
+
+import "encoding/binary"
+
+const maxEntries = 1 << 16
+
+// DecodeRaw sizes an allocation by an unchecked wire read.
+func DecodeRaw(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) // want "AM002: allocation sized by wire-read value n"
+}
+
+// DecodeInline feeds the wire read straight into make.
+func DecodeInline(buf []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(buf)) // want "AM002: allocation sized directly by a wire read"
+}
+
+// DecodeChecked is the required idiom: read, cap-check, allocate.
+func DecodeChecked(buf []byte) ([]byte, bool) {
+	n, _ := binary.Uvarint(buf)
+	if n > maxEntries {
+		return nil, false
+	}
+	return make([]byte, n), true
+}
+
+// DecodeString slices by an unchecked wire length: the string-copy path.
+func DecodeString(buf []byte) string {
+	n, _ := binary.Uvarint(buf)
+	return string(buf[:n]) // want "AM002: slice bound uses wire-read value n"
+}
+
+// DecodeLoop grows a slice an unchecked wire-read number of times.
+func DecodeLoop(buf []byte) []uint64 {
+	count, _ := binary.Uvarint(buf)
+	var out []uint64
+	for i := uint64(0); i < count; i++ { // want "AM002: loop appends up to wire-read value count"
+		out = append(out, 0)
+	}
+	return out
+}
+
+// DecodeBudget clears taint by handing the count to a bounding helper.
+func DecodeBudget(buf []byte) []uint64 {
+	count, _ := binary.Uvarint(buf)
+	if err := checkBudget(count); err != nil {
+		return nil
+	}
+	return make([]uint64, 0, count)
+}
+
+func checkBudget(n uint64) error {
+	if n > maxEntries {
+		return errTooBig
+	}
+	return nil
+}
+
+type decodeError string
+
+func (e decodeError) Error() string { return string(e) }
+
+const errTooBig = decodeError("count exceeds budget")
+
+// DecodeWaived keeps a deliberate unchecked allocation with a waiver.
+func DecodeWaived(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) /* wantsup "AM002: allocation sized by wire-read value n" */ //acutemon:ignore AM002 fixture waiver: caller slices buf to the frame budget first
+}

@@ -1,0 +1,88 @@
+// Package am003fix is the AM003 golden fixture: stripe-lock nesting in
+// the shapes the real sharded stores use — direct element locks and
+// handles returned by a shardFor helper.
+package am003fix
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type store struct {
+	shards []shard
+}
+
+func (s *store) shardFor(key string) *shard {
+	return &s.shards[len(key)%len(s.shards)]
+}
+
+// MoveNested holds one stripe while locking another: the cross-shard
+// eviction deadlock shape.
+func (s *store) MoveNested(from, to int, key string) {
+	s.shards[from].mu.Lock()
+	defer s.shards[from].mu.Unlock()
+	v := s.shards[from].m[key]
+	s.shards[to].mu.Lock() // want "AM003: acquiring shard lock while shard lock is held"
+	s.shards[to].m[key] = v
+	s.shards[to].mu.Unlock()
+}
+
+// MoveHandles nests through helper-returned handles.
+func (s *store) MoveHandles(a, b string) {
+	src := s.shardFor(a)
+	src.mu.Lock()
+	dst := s.shardFor(b)
+	dst.mu.Lock() // want "AM003: acquiring shard lock while shard lock is held"
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+// MoveSequential is the fixed form: finish with one stripe before
+// touching the next.
+func (s *store) MoveSequential(from, to int, key string) {
+	s.shards[from].mu.Lock()
+	v := s.shards[from].m[key]
+	delete(s.shards[from].m, key)
+	s.shards[from].mu.Unlock()
+	s.shards[to].mu.Lock()
+	s.shards[to].m[key] = v
+	s.shards[to].mu.Unlock()
+}
+
+// DrainEither unlocks on both branches before taking the next stripe,
+// so the branch-merged held set is empty.
+func (s *store) DrainEither(i, j int, flush bool) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	if flush {
+		sh.m = map[string]int{}
+		sh.mu.Unlock()
+	} else {
+		sh.mu.Unlock()
+	}
+	other := &s.shards[j]
+	other.mu.Lock()
+	other.mu.Unlock()
+}
+
+// Spawn hands the second stripe to its own goroutine: nesting is
+// per-goroutine, so this is clean.
+func (s *store) Spawn(i, j int) {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	go func() {
+		s.shards[j].mu.Lock()
+		s.shards[j].mu.Unlock()
+	}()
+}
+
+// MoveWaived keeps a deliberate nesting behind a reasoned waiver.
+func (s *store) MoveWaived(key string) {
+	s.shards[0].mu.Lock()
+	defer s.shards[0].mu.Unlock()
+	s.shards[1].mu.Lock() /* wantsup "AM003: acquiring shard lock" */ //acutemon:ignore AM003 fixture waiver: constant indices give a total lock order
+	s.shards[1].m[key] = 1
+	s.shards[1].mu.Unlock()
+}

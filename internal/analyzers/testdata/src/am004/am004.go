@@ -1,0 +1,43 @@
+// Package am004fix is the AM004 golden fixture: words accessed through
+// sync/atomic in one place and plainly in another.
+package am004fix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// Bump publishes both counters atomically.
+func (c *counters) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Snapshot reads hits plainly: racy against Bump.
+func (c *counters) Snapshot() int64 {
+	return c.hits // want "AM004: plain access to hits"
+}
+
+// Total stays on sync/atomic everywhere: the fixed form.
+func (c *counters) Total() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+var dropped int64
+
+// Drop counts atomically.
+func Drop() {
+	atomic.AddInt64(&dropped, 1)
+}
+
+// Dropped reads the counter plainly.
+func Dropped() int64 {
+	return dropped // want "AM004: plain access to dropped"
+}
+
+// DroppedWaived documents a read that is safe by external argument.
+func DroppedWaived() int64 {
+	return dropped /* wantsup "AM004: plain access to dropped" */ //acutemon:ignore AM004 fixture waiver: read after every writer has joined
+}

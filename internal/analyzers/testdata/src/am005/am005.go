@@ -1,0 +1,84 @@
+// Package am005fix is the AM005 golden fixture: context placement and
+// blocking exported APIs. Loaded under a repro/internal/session import
+// path so the scope rule applies.
+package am005fix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+var done = make(chan struct{})
+
+var values = make(chan int)
+
+// Fetch takes its context late.
+func Fetch(id string, ctx context.Context) error { // want "AM005: Fetch takes context.Context at parameter 2"
+	_ = id
+	<-ctx.Done()
+	return nil
+}
+
+// WaitDone blocks on a channel with no context.
+func WaitDone() { // want "AM005: exported WaitDone blocks"
+	<-done
+}
+
+// Nap sleeps with no context.
+func Nap() { // want "AM005: exported Nap blocks"
+	time.Sleep(time.Second)
+}
+
+// Pool carries a WaitGroup for the method cases.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// Drain waits for the pool with no context.
+func (p *Pool) Drain() { // want "AM005: exported Drain blocks"
+	p.wg.Wait()
+}
+
+// DrainContext is the fixed form: ctx first, blocking raced against it.
+func DrainContext(ctx context.Context, p *Pool) error {
+	ch := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryRecv polls without blocking: select with default is exempt.
+func TryRecv() (int, bool) {
+	select {
+	case v := <-values:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// drain is unexported: the contract governs the exported surface only.
+func drain() {
+	<-values
+}
+
+// Read implements io.Reader; its signature is not ours to change.
+func (p *Pool) Read(b []byte) (int, error) {
+	<-done
+	return len(b), nil
+}
+
+// WaitWaived documents a blocking API that predates the contract.
+func WaitWaived() { /* wantsup "AM005: exported WaitWaived blocks" */ //acutemon:ignore AM005 fixture waiver: pre-contract API kept for compatibility
+	<-done
+}
+
+var _ = drain

@@ -106,7 +106,7 @@ func runLiveAcutemon(ctx context.Context, e *session.LiveEnv, spec session.Spec)
 		return nil, err
 	}
 	out := &session.Result{}
-	start := time.Now()
+	start := time.Now() //acutemon:ignore AM001 live-backend observation timestamps are wall-clock by definition; sim paths read the Sim clock
 	cfg := live.Config{
 		Target:             e.Target,
 		Probe:              probe,

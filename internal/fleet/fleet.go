@@ -213,8 +213,31 @@ type Campaign struct {
 	Context context.Context
 }
 
+// RunContext executes the campaign under ctx and returns the merged
+// report: dispatching stops at the next session boundary once ctx is
+// done, in-flight sessions drain, and the partial report comes back
+// with Interrupted set. This is the contract entry point (context
+// first, like session.Run); ctx takes precedence over any
+// Campaign.Context already set.
+func RunContext(ctx context.Context, c Campaign) (*Report, error) {
+	if ctx != nil {
+		c.Context = ctx
+	}
+	return run(c)
+}
+
 // Run executes the campaign and returns the merged report.
+//
+// Deprecated: Run predates the context-first session contract and
+// reads its context, if any, from Campaign.Context. New code calls
+// RunContext.
+//
+//acutemon:ignore AM005 deprecated pre-contract wrapper; ctx rides Campaign.Context and RunContext is the canonical path
 func Run(c Campaign) (*Report, error) {
+	return run(c)
+}
+
+func run(c Campaign) (*Report, error) {
 	if len(c.Sessions) == 0 {
 		return nil, fmt.Errorf("fleet: campaign %q has no sessions", c.Name)
 	}

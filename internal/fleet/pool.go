@@ -27,6 +27,8 @@ func SeedFor(base int64, id int) int64 {
 // depends only on i (the repo-wide convention: every experiment cell
 // builds its own seeded testbed), the output is identical for any worker
 // count. workers <= 0 selects GOMAXPROCS.
+//
+//acutemon:ignore AM005 CPU-bound fan-out over in-process closures; it returns as soon as f does, so cancellation belongs inside f
 func Map[T any](workers, n int, f func(i int) T) []T {
 	if n <= 0 {
 		return nil

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -64,6 +65,54 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// hostileBinFrames builds the length-bomb frames the AM002
+// decode-bounds review calls out: every uvarint a frame declares —
+// record count, payload length, key length, RTT count, sketch length —
+// set to an absurd value while the surrounding structure stays valid,
+// so the decoder reaches each cap check and must reject before
+// allocating. Kept as named seeds so the fuzz smoke run (and the
+// regression test below) exercises every rejection path on every CI
+// run, not only when the fuzzer rediscovers them.
+func hostileBinFrames() map[string][]byte {
+	hdr := []byte{'A', 'C', 'M', 'B', binWireVersion}
+	maxUvarint := append(bytes.Repeat([]byte{0xff}, 9), 0x01) // 2^63-ish, valid encoding
+	// emptyPrefix is a minimal payload up to the flag-gated tail: zero
+	// flags patched in by callers, four empty keys, zero counters, and
+	// an eight-byte zero inflation.
+	emptyPrefix := func(flags byte) []byte {
+		p := []byte{flags, 0, 0, 0, 0 /* keys */, 0 /* time */, 0, 0, 0 /* sent,lost,bg */, 0 /* emulated */}
+		return append(p, make([]byte, 8)...) // inflation bits
+	}
+	frame := func(payload []byte) []byte {
+		out := append([]byte{}, hdr...)
+		out = append(out, 1) // one summary
+		out = binary.AppendUvarint(out, uint64(len(payload)))
+		return append(out, payload...)
+	}
+	return map[string][]byte{
+		// Count says 2^63 summaries; no payload follows.
+		"count-bomb": append(append([]byte{}, hdr...), maxUvarint...),
+		// Payload length far over MaxBinarySummaryBytes.
+		"paylen-bomb": append(append(append([]byte{}, hdr...), 1), maxUvarint...),
+		// Device-key length bomb inside a tiny declared payload.
+		"keylen-bomb": frame(append([]byte{0}, maxUvarint...)),
+		// RTT count bomb after an otherwise-valid fixed section.
+		"rttcount-bomb": frame(append(emptyPrefix(flagRTTs), maxUvarint...)),
+		// Sketch length bomb after an otherwise-valid fixed section.
+		"sketchlen-bomb": frame(append(emptyPrefix(flagSketch), maxUvarint...)),
+	}
+}
+
+// TestHostileBinaryFramesRejected pins the cap checks: every length
+// bomb is an error, never an allocation the attacker sized.
+func TestHostileBinaryFramesRejected(t *testing.T) {
+	for name, data := range hostileBinFrames() {
+		if _, err := DecodeBinaryBatch(bytes.NewReader(data), 1000, int64(len(data))+1); err == nil {
+			t.Errorf("%s: decoder accepted a length-bomb frame", name)
+		}
+	}
+}
+
 // FuzzDecodeBinaryBatch hammers the hand-rolled binary decoder — the
 // untrusted-input surface this PR adds. Beyond no-panic, it checks the
 // bounds discipline's visible contract: anything accepted validates and
@@ -81,6 +130,9 @@ func FuzzDecodeBinaryBatch(f *testing.F) {
 		flipped := append([]byte{}, frame...)
 		flipped[len(flipped)/3] ^= 0x40
 		f.Add(flipped)
+	}
+	for _, frame := range hostileBinFrames() {
+		f.Add(frame)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		batch, err := DecodeBinaryBatch(bytes.NewReader(data), 1000, int64(len(data))+1)

@@ -249,17 +249,16 @@ func (lg *LoadGen) StreamCampaign(ctx context.Context, c fleet.Campaign) (*fleet
 	}
 	// A dead target should fail the campaign fast, not after every
 	// remaining session has been simulated for nothing: the first Send
-	// error cancels the campaign context and fleet.Run drains into a
-	// partial report.
+	// error cancels the campaign context and fleet.RunContext drains
+	// into a partial report.
 	base := ctx
 	if c.Context != nil {
 		base = c.Context
 	}
 	runCtx, cancelRun := context.WithCancel(base)
 	defer cancelRun()
-	c.Context = runCtx
 
-	// Wire I/O runs in a dedicated sender goroutine: fleet.Run holds its
+	// Wire I/O runs in a dedicated sender goroutine: the campaign holds its
 	// observer lock across OnSample, so a synchronous POST there would
 	// stall every simulation worker for the duration of each flush (and
 	// its backpressure retries). A short pipeline lets simulation and
@@ -300,7 +299,7 @@ func (lg *LoadGen) StreamCampaign(ctx context.Context, c fleet.Campaign) (*fleet
 			buf = make([]Summary, 0, lg.BatchSize)
 		}
 	}
-	rep, err := fleet.Run(c)
+	rep, err := fleet.RunContext(runCtx, c)
 	if len(buf) > 0 {
 		batches <- buf
 	}

@@ -205,6 +205,8 @@ type Server struct {
 
 // Start listens, spawns the fold workers, and begins serving. The
 // returned server is live; stop it with Shutdown.
+//
+//acutemon:ignore AM005 bind-only constructor (the net.Listen is a local bind, not a wait); the server's lifecycle context lives in Shutdown(ctx)
 func Start(cfg Config) (*Server, error) {
 	cfg.fill()
 	window := cfg.Window
