@@ -2,9 +2,9 @@
 # exactly what the workflow runs.
 
 GO ?= go
-BENCH_FILE ?= BENCH_7.json
+BENCH_FILE ?= BENCH_9.json
 
-.PHONY: build test race bench bench-json bench-gate fuzz-smoke e2e-restart e2e-churn lint fmt ci
+.PHONY: build test race bench bench-json bench-gate fuzz-smoke e2e-restart e2e-churn e2e-cluster lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ bench:
 # threshold (a single-iteration loopback figure swings ±40% run to
 # run). benchfmt keys by name and keeps the last occurrence, so the
 # steadier pass wins in $(BENCH_FILE).
-BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge|StreamFanout|Compaction
+BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge|StreamFanout|Compaction|GossipRound|ReplicaMerge
 
 # Machine-readable benchmark record for the perf trajectory (ns/op,
 # summaries/sec across all three wires, decode costs, and the
@@ -35,7 +35,7 @@ BENCH_WATCHED := IngestLoopback|Decode|CorrectionLookup|SketchFold|SketchMerge|S
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench-out.txt
 	$(GO) test -bench='$(BENCH_WATCHED)' -benchtime=1s -run='^$$' \
-		./internal/ingest ./internal/puncture ./internal/agg >> bench-out.txt
+		./internal/ingest ./internal/puncture ./internal/agg ./internal/cluster >> bench-out.txt
 	$(GO) run ./cmd/bench2json < bench-out.txt > $(BENCH_FILE)
 	@echo "wrote $(BENCH_FILE)"
 
@@ -55,6 +55,7 @@ bench-gate:
 fuzz-smoke:
 	$(GO) test ./internal/ingest/ -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime=30s
 	$(GO) test ./internal/ingest/ -run '^$$' -fuzz '^FuzzDecodeBinaryBatch$$' -fuzztime=30s
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz '^FuzzDecodeGossipDelta$$' -fuzztime=30s
 
 # The ingestd persistence e2e in isolation: kill → reboot → learned
 # overhead table identical, plus the fleet→ingest delta merge. CI runs
@@ -72,6 +73,13 @@ e2e-restart:
 e2e-churn:
 	$(GO) test -count=1 -run 'TestChurnSteadyState|TestStreamDeltasReproduceStats' -v ./internal/ingest
 	$(GO) run ./cmd/acutemon-ingestd -churn 12 -churn-keys 64 -window 500ms -retention 2s
+
+# Cluster chaos e2e under -race: three gossiping nodes split a
+# campaign, one is killed mid-stream, and the survivors must converge
+# to the exact offline fleet report from the dead peer's replicas (the
+# PR 9 acceptance check).
+e2e-cluster:
+	$(GO) test -count=1 -race -run 'TestClusterChaosConvergence' -v ./internal/cluster
 
 # lint = formatting + go vet + the project-invariant analyzer suite.
 # acutemon-vet is the hard gate on the repo's own safety rules (sim

@@ -11,6 +11,8 @@
 //	acutemon-ingestd [-addr 127.0.0.1:7777] [-tcp-addr host:port] [-window 1m]
 //	                 [-queue 256] [-fold-workers 0] [-max-conns 512]
 //	                 [-registry fleet.json]
+//	acutemon-ingestd -peers http://b:7777,http://c:7777 [-gossip-interval 1s]
+//	                 [-node-id a] — serve fleet-wide aggregates from a gossip cluster
 //	acutemon-ingestd -loadgen [-scenario device-mix] [-sessions 1000]
 //	                 [-probes 100] [-rtt 30ms] [-seed 1] [-batch 100]
 //	                 [-wire json|binary|tcp] [-workers 0] [-target http://host:port]
@@ -36,9 +38,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/ingest"
@@ -59,6 +63,9 @@ func main() {
 	registryPath := flag.String("registry", "", "calibration database JSON to serve and puncture against")
 	profilesPath := flag.String("profiles", "", "device-knowledge snapshot: loaded on boot, snapshotted atomically while serving, saved on drain (learned overheads survive restarts)")
 	profilesInterval := flag.Duration("profiles-interval", time.Minute, "periodic knowledge-snapshot cadence with -profiles (negative disables the periodic saver)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs — join a gossip cluster and serve fleet-wide aggregates (see README Cluster mode)")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "anti-entropy pull cadence per peer with -peers")
+	nodeID := flag.String("node-id", "", "stable cluster identity with -peers (default: the bound listen address)")
 
 	loadgen := flag.Bool("loadgen", false, "run a fleet campaign through the wire protocol and verify the aggregates")
 	scenario := flag.String("scenario", "device-mix", "loadgen campaign preset")
@@ -132,8 +139,24 @@ func main() {
 			target: *target, wire: *wire,
 		})
 	default:
-		serve(ctx, cfg)
+		serve(ctx, cfg, cluster.Config{
+			NodeID:   *nodeID,
+			Peers:    splitPeers(*peers),
+			Interval: *gossipInterval,
+		})
 	}
+}
+
+// splitPeers parses the -peers list; empty entries are dropped so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(format string, args ...any) {
@@ -142,8 +165,10 @@ func fatal(format string, args ...any) {
 }
 
 // serve runs the daemon until the context is cancelled (SIGINT or
-// SIGTERM), then drains and prints the final aggregates.
-func serve(ctx context.Context, cfg ingest.Config) {
+// SIGTERM), then drains and prints the final aggregates. A non-empty
+// peer list joins the gossip cluster after the server is up, so
+// /stats, /v1/stream, and /v1/profiles answer for the whole fleet.
+func serve(ctx context.Context, cfg ingest.Config, ccfg cluster.Config) {
 	s, err := ingest.Start(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -154,10 +179,24 @@ func serve(ctx context.Context, cfg ingest.Config) {
 		fmt.Printf("device knowledge at %s: %d profiles (%d calibrated) on boot\n",
 			cfg.ProfilesPath, st.Len(), st.CalibratedLen())
 	}
+	var node *cluster.Node
+	if len(ccfg.Peers) > 0 {
+		node, err = cluster.Join(s, ccfg)
+		if err != nil {
+			fatal("cluster: %v", err)
+		}
+		fmt.Printf("cluster node %s gossiping with %d peer(s) every %s (GET /v1/cluster)\n",
+			node.NodeID(), len(ccfg.Peers), ccfg.Interval)
+	}
 	<-ctx.Done()
 	fmt.Println("signal received; draining in-flight batches…")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if node != nil {
+		if err := node.Stop(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster stop:", err)
+		}
+	}
 	if err := s.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "drain:", err)
 	}

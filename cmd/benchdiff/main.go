@@ -45,8 +45,9 @@ import (
 // nsOpWatch lists the base benchmark names whose ns/op is gated even
 // though they report no summaries/sec: the puncture table lookup on
 // the per-summary fold path, the sketch fold/merge the store leans on
-// for tail percentiles, and the observability layer's broadcast fanout
-// and janitor compaction passes.
+// for tail percentiles, the observability layer's broadcast fanout and
+// janitor compaction passes, and the cluster gossip round-trip and
+// replica-merge costs that bound anti-entropy convergence time.
 var nsOpWatch = map[string]bool{
 	"BenchmarkCorrectionLookup":         true,
 	"BenchmarkCorrectionLookupParallel": true,
@@ -54,6 +55,8 @@ var nsOpWatch = map[string]bool{
 	"BenchmarkSketchMerge":              true,
 	"BenchmarkStreamFanout":             true,
 	"BenchmarkCompaction":               true,
+	"BenchmarkGossipRound":              true,
+	"BenchmarkReplicaMerge":             true,
 }
 
 type row struct {

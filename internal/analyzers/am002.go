@@ -36,6 +36,7 @@ func (AM002) Doc() string {
 var am002Scope = []string{
 	"repro/internal/ingest",
 	"repro/internal/agg",
+	"repro/internal/cluster",
 }
 
 // wireReadFuncs are the encoding/binary readers whose results are

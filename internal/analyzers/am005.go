@@ -36,6 +36,7 @@ var am005Scope = []string{
 	"repro/internal/session",
 	"repro/internal/fleet",
 	"repro/internal/ingest",
+	"repro/internal/cluster",
 }
 
 // interfaceSigs are method names whose shape is dictated by stdlib

@@ -19,8 +19,10 @@ var goldenCases = []struct {
 	{"am001", "repro/internal/simtime/am001fix"},
 	{"am002", "repro/internal/ingest/am002fix"},
 	{"am003", "repro/internal/puncture/am003fix"},
+	{"am003cluster", "repro/internal/cluster/am003fix"},
 	{"am004", "repro/internal/stats/am004fix"},
 	{"am005", "repro/internal/session/am005fix"},
+	{"am005cluster", "repro/internal/cluster/am005fix"},
 }
 
 // Expectation markers in fixtures:

@@ -1,0 +1,72 @@
+// Package am003fix is the cluster-side AM003 golden fixture: the
+// replica-merge shapes from internal/cluster, where per-peer replica
+// stripes must never nest. Loaded under a repro/internal/cluster
+// import path so findings carry the same package view as the real
+// gossip code.
+package am003fix
+
+import "sync"
+
+type replica struct {
+	mu    sync.Mutex
+	cells map[string]int64
+	epoch int64
+}
+
+type node struct {
+	replicas []replica
+}
+
+func (n *node) shardFor(peer string) *replica {
+	return &n.replicas[len(peer)%len(n.replicas)]
+}
+
+// MergeAcross rebalances one peer's replica into another while still
+// holding the first — the nested-stripe deadlock AM003 exists to stop.
+func (n *node) MergeAcross(from, to int, key string) {
+	n.replicas[from].mu.Lock()
+	defer n.replicas[from].mu.Unlock()
+	v := n.replicas[from].cells[key]
+	n.replicas[to].mu.Lock() // want "AM003: acquiring replica lock while replica lock is held"
+	n.replicas[to].cells[key] = v
+	n.replicas[to].mu.Unlock()
+}
+
+// MergeHandles nests through shardFor handles — the helper-returned
+// form of the same bug.
+func (n *node) MergeHandles(a, b string) {
+	src := n.shardFor(a)
+	src.mu.Lock()
+	dst := n.shardFor(b)
+	dst.mu.Lock() // want "AM003: acquiring replica lock while replica lock is held"
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+// MergeSequential is the replica-apply discipline the real node keeps:
+// finish with one peer's stripe before touching the next, carrying the
+// delta through locals.
+func (n *node) MergeSequential(from, to int, key string) {
+	n.replicas[from].mu.Lock()
+	v := n.replicas[from].cells[key]
+	n.replicas[from].epoch++
+	n.replicas[from].mu.Unlock()
+	n.replicas[to].mu.Lock()
+	n.replicas[to].cells[key] = v
+	n.replicas[to].mu.Unlock()
+}
+
+// SnapshotAll reads every replica one stripe at a time — the
+// ReplicaCells shape, clean because each lock is released before the
+// next index is taken.
+func (n *node) SnapshotAll() map[string]int64 {
+	out := map[string]int64{}
+	for i := range n.replicas {
+		n.replicas[i].mu.Lock()
+		for k, v := range n.replicas[i].cells {
+			out[k] += v
+		}
+		n.replicas[i].mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package am005fix is the cluster-side AM005 golden fixture: the
+// gossip node's exported surface under the context-first contract.
+// Loaded under a repro/internal/cluster import path so the scope rule
+// applies.
+package am005fix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Node mirrors the gossip node's lifecycle shape: background pullers
+// tracked by a WaitGroup, a stop channel, and exported APIs that must
+// take ctx first when they can block.
+type Node struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// Drain waits for every puller with no context — unbounded if a peer
+// goroutine is wedged.
+func (n *Node) Drain() { // want "AM005: exported Drain blocks"
+	n.wg.Wait()
+}
+
+// PullWait parks on the stop channel with the context in second
+// position.
+func (n *Node) PullWait(peer string, ctx context.Context) error { // want "AM005: PullWait takes context.Context at parameter 2"
+	_ = peer
+	select {
+	case <-n.stop:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Backoff sleeps out a retry delay with no context.
+func Backoff(attempt int) { // want "AM005: exported Backoff blocks"
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}
+
+// Stop is the fixed form the real node uses: ctx first, the wait raced
+// against it.
+func (n *Node) Stop(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		n.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryStopped polls the stop channel without blocking: select with
+// default is exempt.
+func (n *Node) TryStopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// observe is unexported: the contract governs the exported surface
+// only.
+func (n *Node) observe() {
+	<-n.stop
+}
+
+var _ = (*Node).observe

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// benchFill folds a fixed workload of cells distinct cells, 16
+// observations each, into st.
+func benchFill(b *testing.B, st *ingest.Store, cells int) {
+	b.Helper()
+	ms := int64(time.Millisecond)
+	for i := 0; i < cells; i++ {
+		s := ingest.Summary{
+			Device: fmt.Sprintf("Phone %03d", i), Group: fmt.Sprintf("g%02d", i%8),
+			Sent: 16,
+			RTTs: []int64{30 * ms, 31 * ms, 29 * ms, 33 * ms, 30 * ms, 45 * ms, 28 * ms, 32 * ms,
+				30 * ms, 31 * ms, 29 * ms, 33 * ms, 30 * ms, 45 * ms, 28 * ms, 32 * ms},
+		}
+		if !st.Fold(&s, time.Duration(2*ms), ingest.SourceLearned) {
+			b.Fatal("fold refused")
+		}
+	}
+}
+
+// BenchmarkGossipRound measures one full anti-entropy round — HTTP
+// fetch, ACMG decode, replica apply — against a responder holding 64
+// cells, with the puller's cursor reset each iteration so every round
+// transfers the full snapshot (the worst, resync-shaped case).
+func BenchmarkGossipRound(b *testing.B) {
+	sB := startServer(b, ingest.Config{Window: -1})
+	joinNode(b, sB, Config{NodeID: "resp", Interval: time.Hour})
+	benchFill(b, sB.Store(), 64)
+
+	sA := startServer(b, ingest.Config{Window: -1})
+	nA := joinNode(b, sA, Config{NodeID: "pull", Peers: []string{sB.URL()}, Interval: time.Hour})
+	p := nA.peers[0]
+	if err := nA.pullOnce(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mu.Lock()
+		p.cursor, p.bootID = 0, ""
+		p.mu.Unlock()
+		if err := nA.pullOnce(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicaMerge measures decoding one 64-cell gossip frame and
+// merging it into a replica — the receive-side cost of a round with
+// the transport factored out.
+func BenchmarkReplicaMerge(b *testing.B) {
+	sA := startServer(b, ingest.Config{Window: -1})
+	nA := joinNode(b, sA, Config{NodeID: "merge", Interval: time.Hour})
+	origin := ingest.NewStore(-1, 0)
+	benchFill(b, origin, 64)
+	frame, err := AppendDelta(nil, &Delta{
+		NodeID: "origin", BootID: "boot", Epoch: 64, Reset: true,
+		Cells: origin.Snapshot(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &peer{addr: "bench", cells: map[ingest.Key]*ingest.Cell{}}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := DecodeDelta(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nA.apply(p, d)
+	}
+}

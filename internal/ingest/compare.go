@@ -22,8 +22,10 @@ const meanRelTolerance = 1e-9
 // checker behind both the acceptance test and the CLI's "verified"
 // claim, so the two can never drift apart. Returns human-readable
 // mismatches (empty slice = the aggregates agree) plus the largest
-// relative mean drift observed.
-func VerifyAgainstReport(st *Store, rep *fleet.Report) (mismatches []string, maxMeanRel float64) {
+// relative mean drift observed. It takes the GroupQuerier slice of the
+// store, so a clustered node's fleet view (Server.Fleet) verifies
+// against a campaign report exactly like a single store.
+func VerifyAgainstReport(st GroupQuerier, rep *fleet.Report) (mismatches []string, maxMeanRel float64) {
 	add := func(format string, args ...any) {
 		mismatches = append(mismatches, fmt.Sprintf(format, args...))
 	}

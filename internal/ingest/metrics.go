@@ -20,6 +20,14 @@ var metricsGaugeKeys = map[string]bool{
 	"learned_models":     true,
 	"rollup_cells":       true,
 	"stream_subscribers": true,
+	// Cluster levels (present only on clustered servers): configured and
+	// currently-alive peers, and the replicated fleet state held locally.
+	"cluster_peers":                true,
+	"cluster_peers_alive":          true,
+	"cluster_replica_cells":        true,
+	"cluster_replicated_sessions":  true,
+	"cluster_replica_models":       true,
+	"cluster_last_merge_epoch_min": true,
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -176,9 +176,14 @@ type Server struct {
 	// bcast fans fold/compaction activity out to /v1/stream
 	// subscribers. Nil on hand-built test servers — every use is
 	// nil-guarded.
-	bcast  *broadcaster
-	ln     net.Listener
-	http   *http.Server
+	bcast *broadcaster
+	ln    net.Listener
+	http  *http.Server
+	// mux is kept so the cluster layer can mount its endpoints after
+	// Start (Server.Handle); repl is its replica source, installed via
+	// SetReplicaSource — nil on every non-clustered server.
+	mux    *http.ServeMux
+	repl   atomic.Pointer[replicaHolder]
 	tcpLn  net.Listener
 	tcp    tcpConns
 	tcpWG  sync.WaitGroup
@@ -266,6 +271,7 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -397,9 +403,10 @@ func (s *Server) Store() *Store { return s.store }
 // Puncturer exposes the live puncturing state.
 func (s *Server) Puncturer() *Puncturer { return s.punc }
 
-// MetricsSnapshot returns a plain-value copy of the counters.
+// MetricsSnapshot returns a plain-value copy of the counters. On a
+// clustered server the acutemon_cluster_* set rides along.
 func (s *Server) MetricsSnapshot() map[string]int64 {
-	return map[string]int64{
+	m := map[string]int64{
 		"accepted_batches":   s.metrics.AcceptedBatches.Load(),
 		"accepted_summaries": s.metrics.AcceptedSummaries.Load(),
 		"folded_summaries":   s.metrics.FoldedSummaries.Load(),
@@ -434,6 +441,12 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"profile_saves":       s.metrics.ProfileSaves.Load(),
 		"profile_save_errors": s.metrics.ProfileSaveErrors.Load(),
 	}
+	if src := s.replicaSource(); src != nil {
+		for k, v := range src.Counters() {
+			m[k] = v
+		}
+	}
+	return m
 }
 
 // streamSubscribers / streamCoalesced tolerate a nil broadcaster
@@ -803,7 +816,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cellStats, err := s.store.StatsQuery(rollup)
+	cellStats, err := s.statsQuery(rollup)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -877,6 +890,14 @@ func RenderStats(resp StatsResponse) string {
 			"retention: compacted=%d cells (%d sessions, lossless) evicted=%d rollups=%d pruned=%d (lossy) cap-dropped=%d summaries\n",
 			c["compacted_cells"], c["compacted_sessions"], c["evicted_cells"],
 			c["rollup_cells"], c["pruned_cells"], c["dropped_summaries"])
+		// On a clustered node the table above is fleet-wide; say which
+		// sessions this node folded itself vs received via gossip.
+		if peers, ok := c["cluster_peers"]; ok {
+			out += fmt.Sprintf(
+				"cluster: local=%d sessions (folded here) replicated=%d sessions in %d cells from %d/%d live peer(s)\n",
+				c["folded_summaries"], c["cluster_replicated_sessions"],
+				c["cluster_replica_cells"], c["cluster_peers_alive"], peers)
+		}
 	}
 	return out
 }
@@ -959,6 +980,17 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 			Models:   st.Len(),
 			Resolved: st.ResolvedBySource(),
 		}
+		// Clustered servers answer for the whole fleet: the local
+		// snapshot merged with every peer's replicated knowledge.
+		// ?scope=local keeps the single-node view (it is what the gossip
+		// rounds themselves exchange — a fleet-merged response here must
+		// never feed back into gossip or models would double-count).
+		if src := s.replicaSource(); src != nil && !strings.EqualFold(r.URL.Query().Get("scope"), "local") {
+			if snap, models, err := fleetProfiles(st, src); err == nil {
+				resp.Snapshot = snap
+				resp.Models = models
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -1015,6 +1047,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rollup_ms":    s.store.RollupWindow(),
 		"subscribers":  s.streamSubscribers(),
 		"counters":     s.MetricsSnapshot(),
+	}
+	// Clustered servers report per-peer liveness and last-merge epochs,
+	// so one /healthz poll shows whether the fleet view is current.
+	if src := s.replicaSource(); src != nil {
+		payload["cluster"] = src.Health()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -55,15 +55,40 @@ type StreamEvent struct {
 // the scan is re-delivered next time rather than lost (deltas are
 // idempotent — latest state per key).
 func (st *Store) DeltasSince(since int64, r Rollup) (StreamEvent, error) {
+	return st.deltasWith(since, r, nil)
+}
+
+// deltasWith generalizes DeltasSince over an optional replica source:
+// with one, changed replicated cells ride the same cursor (the cluster
+// layer stamps them from NextEpoch at apply time), same-key cells merge
+// across peers, and a wrapped replica removal log forces the same full
+// resync as a wrapped local one. A clustered subscription always takes
+// the merging path — even at RollupCell, where reduce is the identity —
+// because the same key can hold sessions on several peers.
+func (st *Store) deltasWith(since int64, r Rollup, src ReplicaSource) (StreamEvent, error) {
 	ev := StreamEvent{Rollup: r, WindowMS: st.windowMS}
 	removed, logOK := st.removalsSince(since)
+	var extraRemoved []Key
+	if src != nil {
+		var rok bool
+		extraRemoved, rok = src.ReplicaRemovals(since)
+		logOK = logOK && rok
+	}
 	if !logOK {
-		since, removed = 0, nil
+		since, removed, extraRemoved = 0, nil, nil
 		ev.Reset = true
 	}
 	ev.Epoch = st.epoch.Load()
+	// Replica cells are collected after the epoch read for the same
+	// reason the scans below are: an apply racing this call stamps a
+	// higher epoch and is re-delivered next time rather than lost.
+	var extra []*Cell
+	if src != nil {
+		extra = src.ReplicaCells()
+	}
+	removed = append(removed, extraRemoved...)
 
-	if r == RollupCell {
+	if r == RollupCell && src == nil {
 		for i := range st.shards {
 			sh := &st.shards[i]
 			sh.mu.Lock()
@@ -109,13 +134,16 @@ func (st *Store) DeltasSince(since int64, r Rollup) (StreamEvent, error) {
 		collect(c)
 	}
 	st.rollupMu.Unlock()
+	for _, c := range extra {
+		collect(c)
+	}
 	for _, k := range removed {
 		changed[r.reduce(k)] = true
 	}
 	if len(changed) == 0 {
 		return ev, nil
 	}
-	all, err := st.Query(r)
+	all, err := st.QueryWith(r, extra)
 	if err != nil {
 		return ev, err
 	}
@@ -385,7 +413,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, sub *subscribe
 	hb := time.NewTicker(streamHeartbeat)
 	defer hb.Stop()
 	for {
-		ev, err := s.store.DeltasSince(since, rollup)
+		ev, err := s.deltasSince(since, rollup)
 		if err != nil {
 			return
 		}
@@ -417,7 +445,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, sub *subscribe
 			// Final flush: deliver whatever folded since the last wake,
 			// then tell the client the stream is over (poll /stats for
 			// anything still queued behind the drain).
-			if ev, err := s.store.DeltasSince(since, rollup); err == nil {
+			if ev, err := s.deltasSince(since, rollup); err == nil {
 				ev.filter(filter)
 				if len(ev.Cells) > 0 || len(ev.Removed) > 0 {
 					if data, err := json.Marshal(ev); err == nil {
@@ -471,7 +499,7 @@ func (s *Server) longPoll(w http.ResponseWriter, r *http.Request, sub *subscribe
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
 	for {
-		ev, err := s.store.DeltasSince(since, rollup)
+		ev, err := s.deltasSince(since, rollup)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
