@@ -10,7 +10,7 @@
 //
 //	acutemon-ingestd [-addr 127.0.0.1:7777] [-tcp-addr host:port] [-window 1m]
 //	                 [-queue 256] [-fold-workers 0] [-max-conns 512]
-//	                 [-registry fleet.json]
+//	                 [-registry fleet.json] [-pprof 127.0.0.1:6060]
 //	acutemon-ingestd -peers http://b:7777,http://c:7777 [-gossip-interval 1s]
 //	                 [-node-id a] — serve fleet-wide aggregates from a gossip cluster
 //	acutemon-ingestd -loadgen [-scenario device-mix] [-sessions 1000]
@@ -36,6 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,6 +69,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer base URLs — join a gossip cluster and serve fleet-wide aggregates (see README Cluster mode)")
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "anti-entropy pull cadence per peer with -peers")
 	nodeID := flag.String("node-id", "", "stable cluster identity with -peers (default: the bound listen address)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables; keep it loopback or firewalled — the profiles expose internals)")
 
 	loadgen := flag.Bool("loadgen", false, "run a fleet campaign through the wire protocol and verify the aggregates")
 	scenario := flag.String("scenario", "device-mix", "loadgen campaign preset")
@@ -88,6 +92,10 @@ func main() {
 	// second Ctrl-C force-quits a wedged drain instead of being
 	// swallowed.
 	context.AfterFunc(ctx, stop)
+
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 
 	var registry *core.ShardedRegistry
 	if *registryPath != "" {
@@ -145,6 +153,33 @@ func main() {
 			Interval: *gossipInterval,
 		})
 	}
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener
+// and mux, fully separate from the ingest surface: the debug endpoints
+// never share a port with device traffic, and leaving -pprof unset (the
+// default) means the handlers are not reachable at all. Registration is
+// explicit rather than via the package's DefaultServeMux side effect so
+// nothing else accidentally rides along. The listener lives for the
+// process — profiling a drain is exactly when it is most useful — and
+// dies with it.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("pprof: %v", err)
+	}
+	fmt.Printf("pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
 }
 
 // splitPeers parses the -peers list; empty entries are dropped so a

@@ -7,8 +7,12 @@
 //
 //   - "summaries/sec" on every benchmark reporting it (the ingest
 //     loopback and wire-decode benchmarks) — higher is better;
-//   - "ns/op" on the correction-lookup and sketch fold/merge
-//     benchmarks — lower is better.
+//   - "ns/op" on the correction-lookup, sketch fold/merge, and
+//     store-fold benchmarks — lower is better;
+//   - "allocs/op" on the fold/decode/gossip/compaction hot paths —
+//     lower is better, and a zero baseline still gates: the fold path
+//     is allocation-free by contract, so a 0→1 move is a regression
+//     the ratio test must not skip (the divisor is max(base, 1)).
 //
 // Benchmarks match across runs by package + name with the trailing
 // GOMAXPROCS suffix stripped, so a baseline recorded on an 8-core host
@@ -53,10 +57,31 @@ var nsOpWatch = map[string]bool{
 	"BenchmarkCorrectionLookupParallel": true,
 	"BenchmarkSketchFold":               true,
 	"BenchmarkSketchMerge":              true,
+	"BenchmarkStoreFold":                true,
+	"BenchmarkStoreFoldSerial":          true,
 	"BenchmarkStreamFanout":             true,
 	"BenchmarkCompaction":               true,
 	"BenchmarkGossipRound":              true,
 	"BenchmarkReplicaMerge":             true,
+}
+
+// allocsWatch lists the benchmarks whose allocs/op is gated: the
+// batched and serial store-fold paths (allocation-free by contract —
+// a pooled buffer escaping the pool shows up here before it shows up
+// in ns/op), the wire decoders, the sketch fold/merge underneath the
+// store, and the gossip/compaction passes whose garbage scales with
+// cluster size and retention churn. Baselines of zero are expected
+// and still gate; see the package comment.
+var allocsWatch = map[string]bool{
+	"BenchmarkStoreFold":         true,
+	"BenchmarkStoreFoldSerial":   true,
+	"BenchmarkDecodeBatch":       true,
+	"BenchmarkDecodeBinaryBatch": true,
+	"BenchmarkSketchFold":        true,
+	"BenchmarkSketchMerge":       true,
+	"BenchmarkCompaction":        true,
+	"BenchmarkGossipRound":       true,
+	"BenchmarkReplicaMerge":      true,
 }
 
 type row struct {
@@ -152,14 +177,22 @@ func diff(baseline, current *benchfmt.Output, threshold float64) ([]row, []strin
 				warnings = append(warnings, fmt.Sprintf("%s no longer reports %s", bb.Key(), metric))
 				continue
 			}
-			if base <= 0 {
+			higherBetter := metric == "summaries/sec"
+			if base <= 0 && higherBetter {
 				continue // can't form a ratio; don't divide by zero
 			}
-			higherBetter := metric != "ns/op"
+			// Lower-is-better metrics divide by max(base, 1) instead of
+			// skipping zero baselines: allocs/op records 0 on the
+			// allocation-free fold path, and a 0→N move is exactly the
+			// regression the gate exists to catch.
+			denom := base
+			if denom < 1 {
+				denom = 1
+			}
 			// delta is the fractional move in the "worse" direction.
-			delta := (base - cur) / base
+			delta := (base - cur) / denom
 			if !higherBetter {
-				delta = (cur - base) / base
+				delta = (cur - base) / denom
 			}
 			rows = append(rows, row{
 				key: bb.Key(), metric: metric, base: base, cur: cur,
@@ -178,7 +211,9 @@ func diff(baseline, current *benchfmt.Output, threshold float64) ([]row, []strin
 
 // watchedMetrics returns which of a benchmark's metrics the gate
 // covers: summaries/sec wherever reported, ns/op for the fold-path
-// hot spots in nsOpWatch.
+// hot spots in nsOpWatch, allocs/op for the allocation-contract
+// benchmarks in allocsWatch (present only when the record was taken
+// with -benchmem or the benchmark calls b.ReportAllocs).
 func watchedMetrics(b benchfmt.Benchmark) []string {
 	var out []string
 	if _, ok := b.Metrics["summaries/sec"]; ok {
@@ -191,6 +226,11 @@ func watchedMetrics(b benchfmt.Benchmark) []string {
 	if nsOpWatch[base] {
 		if _, ok := b.Metrics["ns/op"]; ok {
 			out = append(out, "ns/op")
+		}
+	}
+	if allocsWatch[base] {
+		if _, ok := b.Metrics["allocs/op"]; ok {
+			out = append(out, "allocs/op")
 		}
 	}
 	return out

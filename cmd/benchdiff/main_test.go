@@ -51,6 +51,37 @@ func TestDiffGate(t *testing.T) {
 	}
 }
 
+func TestDiffGatesAllocsFromZeroBaseline(t *testing.T) {
+	baseline := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
+		bench("repro/internal/ingest", "BenchmarkStoreFold-8",
+			map[string]float64{"ns/op": 1500, "allocs/op": 0}),
+		bench("repro/internal/cluster", "BenchmarkGossipRound",
+			map[string]float64{"ns/op": 1e6, "allocs/op": 40}),
+	}}
+	current := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
+		bench("repro/internal/ingest", "BenchmarkStoreFold-2",
+			map[string]float64{"ns/op": 1500, "allocs/op": 2}), // 0→2: fails despite the zero baseline
+		bench("repro/internal/cluster", "BenchmarkGossipRound",
+			map[string]float64{"ns/op": 1e6, "allocs/op": 44}), // +10%: within threshold
+	}}
+	rows, warnings := diff(baseline, current, 0.30)
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	if len(rows) != 4 { // ns/op + allocs/op for both benchmarks
+		t.Fatalf("want 4 watched rows, got %d: %+v", len(rows), rows)
+	}
+	failures := map[string]bool{}
+	for _, r := range rows {
+		if r.failed {
+			failures[r.key+" "+r.metric] = true
+		}
+	}
+	if len(failures) != 1 || !failures["repro/internal/ingest.BenchmarkStoreFold allocs/op"] {
+		t.Fatalf("wrong failure set: %v", failures)
+	}
+}
+
 func TestDiffWarnsOnVanishedBenchmark(t *testing.T) {
 	baseline := &benchfmt.Output{Benchmarks: []benchfmt.Benchmark{
 		bench("repro/internal/ingest", "BenchmarkDecodeBinaryBatch",

@@ -54,6 +54,39 @@ func (m *Moments) Add(v float64) {
 	}
 }
 
+// AddMulti folds a run of observations in one call — the ingest fold
+// path's batch entry point. It runs the exact Welford recurrence of
+// repeated Add (same operations, same rounding), so a batched fold is
+// byte-identical to a serial per-observation fold; the win is the
+// hoisted call overhead, not a different formula. (A two-pass
+// chunk-and-merge would be fewer divisions but rounds differently,
+// breaking the sharding-equivalence contract.)
+func (m *Moments) AddMulti(vs []float64) {
+	// The accumulators live in locals across the loop: through the
+	// receiver pointer every iteration would store and reload each
+	// field, and those memory round-trips — not the arithmetic — are
+	// what showed up in the fold-path profile. The update order and
+	// rounding are exactly Add's, so the result stays bit-identical.
+	n, mean, m2, minv, maxv := m.N, m.Mean, m.M2, m.MinV, m.MaxV
+	for _, v := range vs {
+		n++
+		if n == 1 {
+			mean, m2, minv, maxv = v, 0, v, v
+			continue
+		}
+		d := v - mean
+		mean += d / float64(n)
+		m2 += d * (v - mean)
+		if v < minv {
+			minv = v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	m.N, m.Mean, m.M2, m.MinV, m.MaxV = n, mean, m2, minv, maxv
+}
+
 // AddN folds n copies of v in — the shape a sketch centroid takes when
 // folded into moment accumulators. The centroid's internal spread is
 // not recoverable, so for sketch-only input the variance is a lower
@@ -165,6 +198,34 @@ func (h *Hist) AddN(d time.Duration, n int64) {
 		}
 		h.Counts[idx] += n
 	}
+}
+
+// AddMulti folds a run of durations in one call — the ingest fold
+// path's batch entry point. Bin counts are integers, so the result is
+// identical to repeated Add in any order; the win is hoisting the
+// geometry loads and bounds computation out of the per-observation
+// loop.
+func (h *Hist) AddMulti(ds []time.Duration) {
+	lo, hi := h.Lo, h.Hi
+	counts := h.Counts
+	nb := int64(len(counts))
+	span := int64(hi - lo)
+	under, over := h.Under, h.Over
+	for _, d := range ds {
+		switch {
+		case d < lo:
+			under++
+		case d >= hi:
+			over++
+		default:
+			idx := int(int64(d-lo) * nb / span)
+			if idx >= len(counts) {
+				idx = len(counts) - 1
+			}
+			counts[idx]++
+		}
+	}
+	h.Under, h.Over = under, over
 }
 
 // CheckGeometry reports whether o can merge into h, without mutating

@@ -1,0 +1,157 @@
+package agg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The batch entry points exist to amortize per-call overhead on the
+// ingest fold path; their contract is that a batched fold is
+// *byte-identical* to the serial per-observation fold (the store's
+// sharding-equivalence property rests on it). These tests pin that:
+// same values, arbitrary chunking, identical internal state.
+
+func chunked(vs []float64, rng *rand.Rand) [][]float64 {
+	var out [][]float64
+	for len(vs) > 0 {
+		n := 1 + rng.Intn(len(vs))
+		out = append(out, vs[:n])
+		vs = vs[n:]
+	}
+	return out
+}
+
+func TestMomentsAddMultiMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vs := make([]float64, 4096)
+	for i := range vs {
+		vs[i] = rng.ExpFloat64() * 5e7
+	}
+	var serial, batched Moments
+	for _, v := range vs {
+		serial.Add(v)
+	}
+	for _, chunk := range chunked(vs, rng) {
+		batched.AddMulti(chunk)
+	}
+	if serial != batched {
+		t.Fatalf("batched moments diverge from serial:\n serial  %+v\n batched %+v", serial, batched)
+	}
+	// Empty chunks are no-ops.
+	batched.AddMulti(nil)
+	if serial != batched {
+		t.Fatalf("AddMulti(nil) mutated the accumulator")
+	}
+}
+
+func TestHistAddMultiMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := make([]time.Duration, 4096)
+	for i := range ds {
+		// Cover under-range, in-range, and over-range mass.
+		ds[i] = time.Duration(rng.Int63n(int64(600*time.Millisecond))) - 10*time.Millisecond
+	}
+	serial, batched := NewDurationHist(), NewDurationHist()
+	for _, d := range ds {
+		serial.Add(d)
+	}
+	i := 0
+	for i < len(ds) {
+		n := 1 + rng.Intn(len(ds)-i)
+		batched.AddMulti(ds[i : i+n])
+		i += n
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Fatalf("batched hist diverges from serial")
+	}
+}
+
+func TestSketchAddMultiMatchesAdd(t *testing.T) {
+	for _, comp := range []float64{0, MinSketchCompression, 100, DefaultSketchCompression} {
+		rng := rand.New(rand.NewSource(13))
+		vs := make([]float64, 10_000)
+		for i := range vs {
+			vs[i] = rng.ExpFloat64() * 5e7
+		}
+		serial, batched := NewSketch(comp), NewSketch(comp)
+		for _, v := range vs {
+			serial.Add(v)
+		}
+		for _, chunk := range chunked(vs, rng) {
+			batched.AddMulti(chunk)
+		}
+		// Identical *before* any extra flush: AddMulti must flush at the
+		// exact buffer boundaries sequential Add does, leaving the same
+		// centroid list and the same unflushed residue.
+		if serial.Count != batched.Count || serial.MinV != batched.MinV || serial.MaxV != batched.MaxV {
+			t.Fatalf("comp=%v: batched sketch header diverges from serial", comp)
+		}
+		if !reflect.DeepEqual(serial.Centroids, batched.Centroids) {
+			t.Fatalf("comp=%v: batched centroids diverge from serial (flush boundaries moved)", comp)
+		}
+		if !reflect.DeepEqual(serial.buf, batched.buf) {
+			t.Fatalf("comp=%v: batched residual buffer diverges from serial", comp)
+		}
+		sj, err := serial.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := batched.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(bj) {
+			t.Fatalf("comp=%v: flushed wire forms diverge", comp)
+		}
+	}
+}
+
+// A flush must not allocate once the sketch's internal workspace has
+// warmed up — that allocation used to dominate the fold path's
+// steady-state garbage.
+func TestSketchFlushSteadyStateAllocFree(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race mode: sync.Pool drops Puts at random, so pooled-scratch reuse is not guaranteed")
+	}
+	rng := rand.New(rand.NewSource(17))
+	s := NewSketch(DefaultSketchCompression)
+	warm := make([]float64, 20*s.bufLimit())
+	for i := range warm {
+		warm[i] = rng.ExpFloat64() * 5e7
+	}
+	s.AddMulti(warm)
+	s.Flush()
+	vals := make([]float64, s.bufLimit())
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 5e7
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		s.AddMulti(vals) // exactly one flush per run
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state AddMulti+Flush allocates %.1f allocs per flush, want 0", avg)
+	}
+}
+
+func TestSketchCloneDoesNotShareScratch(t *testing.T) {
+	s := NewSketch(MinSketchCompression)
+	for i := 0; i < 500; i++ {
+		s.Add(float64(i))
+	}
+	s.Flush()
+	c := s.Clone()
+	for i := 0; i < 500; i++ {
+		c.Add(float64(i) * 3)
+		s.Add(float64(i) * 7)
+	}
+	s.Flush()
+	c.Flush()
+	if err := s.Valid(); err != nil {
+		t.Fatalf("original invalid after clone diverged: %v", err)
+	}
+	if err := c.Valid(); err != nil {
+		t.Fatalf("clone invalid after divergence: %v", err)
+	}
+}

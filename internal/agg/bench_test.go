@@ -25,6 +25,7 @@ func benchValues(n int) []float64 {
 // BenchmarkSketchFold prices one Add on the hot ingest path (amortized
 // over the buffered compression passes).
 func BenchmarkSketchFold(b *testing.B) {
+	b.ReportAllocs()
 	vals := benchValues(1 << 16)
 	sk := NewSketch(0)
 	b.ResetTimer()
@@ -36,6 +37,7 @@ func BenchmarkSketchFold(b *testing.B) {
 // BenchmarkSketchMerge prices merging one worker-local sketch into a
 // campaign/query accumulator.
 func BenchmarkSketchMerge(b *testing.B) {
+	b.ReportAllocs()
 	vals := benchValues(1 << 15)
 	part := NewSketch(0)
 	for _, v := range vals {
@@ -52,6 +54,7 @@ func BenchmarkSketchMerge(b *testing.B) {
 // BenchmarkSketchQuantile prices one p99 read on a compressed sketch —
 // the /stats serving path.
 func BenchmarkSketchQuantile(b *testing.B) {
+	b.ReportAllocs()
 	sk := NewSketch(0)
 	for _, v := range benchValues(1 << 16) {
 		sk.Add(v)
@@ -68,6 +71,7 @@ func BenchmarkSketchQuantile(b *testing.B) {
 // BenchmarkHistQuantile prices the interpolated histogram quantile for
 // comparison with the sketch path.
 func BenchmarkHistQuantile(b *testing.B) {
+	b.ReportAllocs()
 	h := NewDurationHist()
 	for _, v := range benchValues(1 << 16) {
 		h.Add(time.Duration(v))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package agg
+
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package agg
+
+// Under the race detector sync.Pool deliberately drops a fraction of
+// Put calls to widen the interleavings it can observe, so pooled-
+// scratch reuse is not guaranteed and allocation-free steady state
+// cannot be asserted.
+const raceDetectorEnabled = true

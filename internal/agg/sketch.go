@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"slices"
 	"time"
 )
 
@@ -122,87 +121,155 @@ func (s *Sketch) Add(v float64) {
 // every RTT aggregate in this repo uses.
 func (s *Sketch) AddDuration(d time.Duration) { s.Add(float64(d)) }
 
+// AddMulti folds a run of observations in one call — the batch entry
+// point the ingest fold path uses to amortize the per-call normalize
+// and bounds checks across a whole same-cell run. It flushes at
+// exactly the same buffer boundaries sequential Add calls would, so a
+// batched fold stays byte-identical to a serial per-observation fold.
+func (s *Sketch) AddMulti(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.normalize()
+	limit := s.bufLimit()
+	for len(vs) > 0 {
+		n := limit - len(s.buf)
+		if n > len(vs) {
+			n = len(vs)
+		}
+		chunk := vs[:n]
+		// Count/min/max ride in locals across the chunk (same
+		// store-reload avoidance as Moments.AddMulti); Flush doesn't
+		// touch them, so writing back once per chunk is safe.
+		count, minv, maxv := s.Count, s.MinV, s.MaxV
+		for _, v := range chunk {
+			if count == 0 || v < minv {
+				minv = v
+			}
+			if count == 0 || v > maxv {
+				maxv = v
+			}
+			count++
+		}
+		s.Count, s.MinV, s.MaxV = count, minv, maxv
+		s.buf = append(s.buf, chunk...)
+		vs = vs[n:]
+		if len(s.buf) >= limit {
+			s.Flush()
+		}
+	}
+}
+
 // N returns the total observation count.
 func (s *Sketch) N() int64 { return s.Count }
 
 // Flush compresses any buffered observations into the centroid list.
 // Idempotent; called automatically by Quantile, Merge, and JSON
-// marshalling.
+// marshalling. The sort keys and merge workspace come from the pooled
+// flushScratch and the centroid list itself is reused across flushes,
+// so a steady-state flush allocates nothing — this is the allocation
+// the ingest fold path used to pay once per bufLimit observations.
 func (s *Sketch) Flush() {
 	s.normalize()
 	if len(s.buf) == 0 {
 		return
 	}
-	slices.Sort(s.buf)
-	fresh := make([]Centroid, len(s.buf))
-	for i, v := range s.buf {
-		fresh[i] = Centroid{Mean: v, Weight: 1}
-	}
-	s.buf = s.buf[:0]
-	s.Centroids = compressCentroids(mergeSortedCentroids(s.Centroids, fresh), s.Count, s.Compression)
-}
-
-// mergeSortedCentroids linearly merges two mean-sorted centroid lists —
-// both Flush and Merge combine lists that are sorted by construction,
-// so no comparison sort is needed.
-func mergeSortedCentroids(a, b []Centroid) []Centroid {
-	out := make([]Centroid, 0, len(a)+len(b))
+	fs := flushScratchPool.Get().(*flushScratch)
+	fs.sortObservations(s.buf)
+	// Linearly merge the sorted centroid list with the sorted buffer
+	// (each buffered value a weight-1 centroid) into the scratch space;
+	// existing centroids win ties, matching a two-list centroid merge.
+	sc := fs.merged[:0]
 	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		if j >= len(b) || (i < len(a) && a[i].Mean <= b[j].Mean) {
-			out = append(out, a[i])
+	for i < len(s.Centroids) || j < len(s.buf) {
+		if j >= len(s.buf) || (i < len(s.Centroids) && s.Centroids[i].Mean <= s.buf[j]) {
+			sc = append(sc, s.Centroids[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			sc = append(sc, Centroid{Mean: s.buf[j], Weight: 1})
 			j++
 		}
 	}
-	return out
+	s.buf = s.buf[:0]
+	s.Centroids = compressInto(s.Centroids[:0], sc, s.Count, s.Compression)
+	fs.merged = sc
+	flushScratchPool.Put(fs)
 }
 
-// kScale is the t-digest k1 scale function, compression/(2π)·asin(2q−1):
-// a centroid may only span one k-unit, and since dk/dq diverges as q→0
-// or 1, tail centroids shrink to single observations while mid-range
-// centroids grow — resolution concentrates exactly where Hist loses it.
-// The total k-span of [0,1] is compression/2, which bounds the centroid
-// count independently of stream length.
-func kScale(q, compression float64) float64 {
-	if q < 0 {
-		q = 0
+// mergeSortedCentroids linearly merges two mean-sorted centroid lists
+// into dst — both Flush and Merge combine lists that are sorted by
+// construction, so no comparison sort is needed.
+func mergeSortedCentroids(dst, a, b []Centroid) []Centroid {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Mean <= b[j].Mean) {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
 	}
-	if q > 1 {
-		q = 1
-	}
-	return compression / (2 * math.Pi) * math.Asin(2*q-1)
+	return dst
 }
 
-// compressCentroids runs the deterministic single-pass merge over a
-// mean-sorted centroid list: adjacent centroids coalesce while the
-// combined centroid still spans at most one k-unit of the scale
-// function.
-func compressCentroids(sorted []Centroid, total int64, compression float64) []Centroid {
+// The compression pass follows the t-digest k1 scale function,
+// k(q) = compression/(2π)·asin(2q−1): a centroid may only span one
+// k-unit, and since dk/dq diverges as q→0 or 1, tail centroids shrink
+// to single observations while mid-range centroids grow — resolution
+// concentrates exactly where Hist loses it. The total k-span of [0,1]
+// is compression/2, which bounds the centroid count independently of
+// stream length.
+//
+// qLimitAfter is the spanning rule solved for quantiles: the largest q
+// a centroid whose left edge sits at quantile q0 may extend to before
+// it spans more than one k-unit, q = (sin(asin(2q0−1) + δ) + 1)/2 with
+// δ = 2π/compression. The angle addition expands to
+// (2q0−1)·cos δ + √(1−(2q0−1)²)·sin δ, so with sin δ and cos δ hoisted
+// by the caller the per-emitted-centroid cost is one sqrt — no trig at
+// all on the compression path (the asin/sin pair here used to be the
+// flush's largest single cost after the sort).
+func qLimitAfter(q0, sinD, cosD float64) float64 {
+	x := 2*q0 - 1
+	if x >= cosD { // asin(2q0−1)+δ ≥ π/2: the k-budget reaches q=1
+		return 1
+	}
+	return (x*cosD + math.Sqrt(1-x*x)*sinD + 1) / 2
+}
+
+// compressInto runs the deterministic single-pass merge over a
+// mean-sorted centroid list, appending the result to dst: adjacent
+// centroids coalesce while the combined centroid still spans at most
+// one k-unit of the scale function (checked against the precomputed
+// inverse-scale quantile limit, which is kScale(qRight)−kLeft ≤ 1
+// rearranged through the monotone inverse). dst may be the zero-length
+// head of the slice that previously held the sketch's centroids —
+// sorted lives in separate scratch space by then, so the append never
+// clobbers an unread input.
+func compressInto(dst, sorted []Centroid, total int64, compression float64) []Centroid {
 	if len(sorted) == 0 {
 		return nil
 	}
-	out := make([]Centroid, 0, len(sorted)/2+1)
 	cur := sorted[0]
 	var wSoFar int64
 	tf := float64(total)
-	kLeft := kScale(0, compression)
+	sinD, cosD := math.Sincos(2 * math.Pi / compression)
+	// The limit is carried in weight space (qLimit·total), so the
+	// per-input check is a convert-and-compare with no division.
+	wLimit := qLimitAfter(0, sinD, cosD) * tf
 	for _, c := range sorted[1:] {
 		proposed := cur.Weight + c.Weight
-		qRight := float64(wSoFar+proposed) / tf
-		if kScale(qRight, compression)-kLeft <= 1 {
+		if float64(wSoFar+proposed) <= wLimit {
 			cur.Mean += (c.Mean - cur.Mean) * float64(c.Weight) / float64(proposed)
 			cur.Weight = proposed
 		} else {
-			out = append(out, cur)
+			dst = append(dst, cur)
 			wSoFar += cur.Weight
-			kLeft = kScale(float64(wSoFar)/tf, compression)
+			wLimit = qLimitAfter(float64(wSoFar)/tf, sinD, cosD) * tf
 			cur = c
 		}
 	}
-	return append(out, cur)
+	return append(dst, cur)
 }
 
 // Merge folds another sketch in without mutating it; the merged sketch
@@ -236,7 +303,10 @@ func (s *Sketch) Merge(o *Sketch) {
 		flat.Flush()
 	}
 	s.Count += o.Count
-	s.Centroids = compressCentroids(mergeSortedCentroids(s.Centroids, flat.Centroids), s.Count, s.Compression)
+	fs := flushScratchPool.Get().(*flushScratch)
+	fs.merged = mergeSortedCentroids(fs.merged[:0], s.Centroids, flat.Centroids)
+	s.Centroids = compressInto(s.Centroids[:0], fs.merged, s.Count, s.Compression)
+	flushScratchPool.Put(fs)
 }
 
 // MergeSketches merges src into *dst for a pair of aggregates that

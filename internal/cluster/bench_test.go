@@ -31,6 +31,7 @@ func benchFill(b *testing.B, st *ingest.Store, cells int) {
 // cells, with the puller's cursor reset each iteration so every round
 // transfers the full snapshot (the worst, resync-shaped case).
 func BenchmarkGossipRound(b *testing.B) {
+	b.ReportAllocs()
 	sB := startServer(b, ingest.Config{Window: -1})
 	joinNode(b, sB, Config{NodeID: "resp", Interval: time.Hour})
 	benchFill(b, sB.Store(), 64)
@@ -56,6 +57,7 @@ func BenchmarkGossipRound(b *testing.B) {
 // merging it into a replica — the receive-side cost of a round with
 // the transport factored out.
 func BenchmarkReplicaMerge(b *testing.B) {
+	b.ReportAllocs()
 	sA := startServer(b, ingest.Config{Window: -1})
 	nA := joinNode(b, sA, Config{NodeID: "merge", Interval: time.Hour})
 	origin := ingest.NewStore(-1, 0)

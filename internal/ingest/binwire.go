@@ -91,6 +91,59 @@ var payloadPool = sync.Pool{
 	},
 }
 
+// binAlloc amortizes the decoder's per-summary allocations across a
+// whole batch. Key strings are interned through a pooled, size-capped
+// table — real batches repeat a handful of device/group/scenario keys,
+// so after the first sighting a key decodes without allocating, while
+// hostile high-cardinality input simply bypasses the full table rather
+// than growing it. RTT slices are carved from shared blocks; the block
+// memory is fresh per batch (the decoded summaries retain it — only
+// the allocation *count* is amortized, not the memory), so pooling the
+// binAlloc never aliases live summaries.
+type binAlloc struct {
+	intern map[string]string
+	arena  []int64 // spare capacity of the current RTT block
+}
+
+// maxInternedKeys bounds the pooled intern table; past it, unseen keys
+// just allocate (the cap only exists so hostile key cardinality cannot
+// grow the table without bound across pooled reuses).
+const maxInternedKeys = 1024
+
+var binAllocPool = sync.Pool{
+	New: func() any { return &binAlloc{intern: make(map[string]string, 64)} },
+}
+
+// str interns a decoded key field.
+func (a *binAlloc) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := a.intern[string(b)]; ok { // keyed lookup does not allocate
+		return s
+	}
+	s := string(b)
+	if len(a.intern) < maxInternedKeys {
+		a.intern[s] = s
+	}
+	return s
+}
+
+// int64s carves an exactly-sized slice out of the current block,
+// minting a new block when the remainder is short.
+func (a *binAlloc) int64s(n int) []int64 {
+	if n > len(a.arena) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		a.arena = make([]int64, size)
+	}
+	out := a.arena[:n:n]
+	a.arena = a.arena[n:]
+	return out
+}
+
 // zigzag maps signed to unsigned so small-magnitude negatives stay
 // short varints; unzigzag inverts it.
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
@@ -291,10 +344,12 @@ func readBinaryBatch(br *bufio.Reader, maxSummaries int) ([]Summary, error) {
 	out := make([]Summary, 0, prealloc)
 
 	payload := payloadPool.Get().(*[]byte)
+	al := binAllocPool.Get().(*binAlloc)
 	defer func() {
 		if cap(*payload) <= MaxBinarySummaryBytes {
 			payloadPool.Put(payload)
 		}
+		binAllocPool.Put(al)
 	}()
 	for i := uint64(0); i < count; i++ {
 		plen, err := binary.ReadUvarint(br)
@@ -312,7 +367,7 @@ func readBinaryBatch(br *bufio.Reader, maxSummaries int) ([]Summary, error) {
 			return nil, fmt.Errorf("ingest: batch record %d: %w", i+1, noEOF(err))
 		}
 		var s Summary
-		if err := decodeBinarySummary(buf, &s); err != nil {
+		if err := decodeBinarySummary(buf, &s, al); err != nil {
 			return nil, fmt.Errorf("ingest: batch record %d: %w", i+1, err)
 		}
 		if err := s.Validate(); err != nil {
@@ -336,6 +391,7 @@ func noEOF(err error) error {
 type binCursor struct {
 	buf []byte
 	off int
+	al  *binAlloc
 }
 
 func (d *binCursor) remaining() int { return len(d.buf) - d.off }
@@ -386,7 +442,7 @@ func (d *binCursor) str() (string, error) {
 	if int(n) > d.remaining() {
 		return "", io.ErrUnexpectedEOF
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	s := d.al.str(d.buf[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s, nil
 }
@@ -408,8 +464,8 @@ func (d *binCursor) count() (int, error) {
 // the only allocations are the strings, the exactly-sized RTT slice
 // (its count capped both structurally and by the bytes present), and
 // the sketch (its own decoder enforces the centroid caps).
-func decodeBinarySummary(buf []byte, s *Summary) error {
-	d := binCursor{buf: buf}
+func decodeBinarySummary(buf []byte, s *Summary, al *binAlloc) error {
+	d := binCursor{buf: buf, al: al}
 	flags, err := d.byte()
 	if err != nil {
 		return err
@@ -477,7 +533,7 @@ func decodeBinarySummary(buf []byte, s *Summary) error {
 		if n == 0 || n > maxRTTsPerSummary || n > uint64(d.remaining()) {
 			return fmt.Errorf("%w: %d RTTs", ErrFrameTooBig, n)
 		}
-		rtts := make([]int64, n)
+		rtts := d.al.int64s(int(n))
 		first, err := d.uvarint()
 		if err != nil {
 			return fmt.Errorf("rtt[0]: %w", err)

@@ -54,6 +54,15 @@ type LoadGen struct {
 
 	sent int64
 	conn net.Conn // lazy long-lived connection for the tcp wire
+
+	// Send-path scratch, reused across batches (LoadGen is
+	// single-goroutine by contract — it already carries conn/sent
+	// state): the encoded body and the HTTP request header. Without
+	// these every POST allocates a batch-sized buffer, which at fold
+	// speed turns the loadgen itself into the GC load.
+	body   []byte
+	reqURL string
+	header http.Header
 }
 
 func (lg *LoadGen) fill() {
@@ -91,33 +100,38 @@ func (lg *LoadGen) Send(ctx context.Context, batch []Summary) error {
 		return nil
 	}
 	lg.fill()
-	var body []byte
 	contentType := "application/x-ndjson"
 	switch lg.Wire {
 	case "", WireJSON:
-		var buf bytes.Buffer
-		if err := EncodeBatch(&buf, batch); err != nil {
+		buf := bytes.NewBuffer(lg.body[:0])
+		if err := EncodeBatch(buf, batch); err != nil {
 			return fmt.Errorf("ingest: encoding batch: %w", err)
 		}
-		body = buf.Bytes()
+		lg.body = buf.Bytes()
 	case WireBinary, WireTCP:
 		var err error
-		if body, err = AppendBinaryBatch(nil, batch); err != nil {
+		if lg.body, err = AppendBinaryBatch(lg.body[:0], batch); err != nil {
 			return fmt.Errorf("ingest: encoding batch: %w", err)
 		}
 		contentType = BinaryContentType
 	default:
 		return fmt.Errorf("ingest: unknown wire %q", lg.Wire)
 	}
+	body := lg.body
 	if lg.Wire == WireTCP {
 		return lg.sendTCP(ctx, body, len(batch))
 	}
+	if lg.reqURL == "" {
+		lg.reqURL = lg.URL + "/v1/ingest"
+		lg.header = make(http.Header, 1)
+	}
+	lg.header.Set("Content-Type", contentType)
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.URL+"/v1/ingest", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.reqURL, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", contentType)
+		req.Header = lg.header
 		resp, err := lg.Client.Do(req)
 		if err != nil {
 			return fmt.Errorf("ingest: posting batch: %w", err)

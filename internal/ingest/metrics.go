@@ -52,6 +52,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name string, v int64) {
 		fmt.Fprintf(&b, "# TYPE acutemon_%s gauge\nacutemon_%s %d\n", name, name, v)
 	}
+	// Fold latency as a Prometheus summary (sum/count, no quantile
+	// series): nanoseconds spent folding drained pipe jobs. Rate of the
+	// sum over rate of the count is mean fold latency; the count's rate
+	// is job throughput.
+	fmt.Fprintf(&b, "# TYPE acutemon_fold_ns summary\nacutemon_fold_ns_sum %d\nacutemon_fold_ns_count %d\n",
+		s.metrics.FoldNanos.Load(), s.metrics.FoldJobs.Load())
 	gauge("queue_len", int64(len(s.credits)))
 	gauge("queue_cap", int64(cap(s.credits)))
 	gauge("cells", s.store.Cells())

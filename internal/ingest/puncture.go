@@ -116,6 +116,43 @@ func (p *Puncturer) Correction(s *Summary) (time.Duration, CorrectionSource) {
 	return p.store.Resolve(s.Device, s.Chipset)
 }
 
+// CorrectionRun resolves corrections for one same-cell run, filling
+// corrs and srcs (both len(rs)). When every summary in the run ships
+// its own attribution for one chipset — the common case, since a run
+// shares one device — the knowledge-store teaching happens under one
+// lock round via RecordAttributionRun. That regrouping cannot change
+// any observable fold: a reported correction is computed from the
+// summary alone, never read from the store, so no correction in this
+// run (or any later run, which still sees every write) depends on the
+// writes' interleaving. A run with any non-attributing or
+// chipset-divergent summary falls back to the per-summary path,
+// preserving the serial teach/resolve interleaving those folds are
+// order-dependent on. atts is caller scratch; the (possibly grown)
+// slice is returned for reuse.
+func (p *Puncturer) CorrectionRun(rs []Summary, corrs []time.Duration, srcs []CorrectionSource, atts []puncture.Attribution) []puncture.Attribution {
+	for i := range rs {
+		if !rs[i].LayersOK || rs[i].Chipset != rs[0].Chipset {
+			for j := range rs {
+				corrs[j], srcs[j] = p.Correction(&rs[j])
+			}
+			return atts
+		}
+	}
+	atts = atts[:0]
+	for i := range rs {
+		s := &rs[i]
+		corr := time.Duration(s.UserOverheadNS + s.SDIOOverheadNS + s.PSMInflationNS)
+		if corr < 0 {
+			corr = 0
+		}
+		corrs[i], srcs[i] = corr, SourceReported
+		atts = append(atts, puncture.Attribution{UserNS: s.UserOverheadNS, SDIONS: s.SDIOOverheadNS, PSMNS: s.PSMInflationNS})
+	}
+	p.store.RecordAttributionRun(rs[0].Device, rs[0].Chipset, atts)
+	p.store.CountReportedN(int64(len(rs)))
+	return atts
+}
+
 // Calibrated reports whether the knowledge store has calibrated timers
 // for the model.
 func (p *Puncturer) Calibrated(model string) bool { return p.store.Calibrated(model) }

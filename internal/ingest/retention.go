@@ -117,6 +117,9 @@ func (st *Store) Compact(cutoffMS int64) (cells, sessions int64) {
 				expired = append(expired, c)
 			}
 		}
+		if len(expired) > 0 {
+			st.gen.Add(1) // invalidate cached handles (under this shard's lock)
+		}
 		sh.mu.Unlock()
 		if len(expired) == 0 {
 			continue
@@ -180,6 +183,7 @@ func (st *Store) EnforceCap(nowMS int64) int64 {
 		if ok {
 			delete(sh.cells, e.k)
 			st.cells.Add(-1)
+			st.gen.Add(1) // invalidate cached handles (under this shard's lock)
 		}
 		sh.mu.Unlock()
 		if !ok {
@@ -218,6 +222,7 @@ func (st *Store) evictColdestLocked(sh *storeShard, newWindowMS int64) bool {
 	}
 	delete(sh.cells, vk)
 	st.cells.Add(-1)
+	st.gen.Add(1) // invalidate cached handles (caller holds this shard's lock)
 	st.evicted.Add(1)
 	st.compactedSessions.Add(victim.Sessions)
 	st.absorbIntoRollup(victim)
@@ -261,6 +266,7 @@ func (st *Store) evictColdestGlobal(newWindowMS int64) bool {
 	if ok {
 		delete(sh.cells, vk)
 		st.cells.Add(-1)
+		st.gen.Add(1) // invalidate cached handles (under this shard's lock)
 	}
 	sh.mu.Unlock()
 	if !ok {

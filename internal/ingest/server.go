@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -161,6 +162,13 @@ type Metrics struct {
 	StreamEvents      atomic.Int64 // /v1/stream deltas delivered (SSE + poll)
 	StreamDropped     atomic.Int64 // stream clients dropped as gone/too slow
 	StreamRejected    atomic.Int64 // stream subscriptions refused at the cap
+	// FoldNanos/FoldJobs back the acutemon_fold_ns summary on /metrics:
+	// total wall time the fold workers spent draining pipe jobs and the
+	// number of jobs drained, so production fold latency (sum/count) is
+	// observable without a profiler. Two atomics, not a histogram — the
+	// fold loop is the hottest path in the daemon.
+	FoldNanos atomic.Int64
+	FoldJobs  atomic.Int64
 }
 
 // Server is a running ingest + query service.
@@ -606,7 +614,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.metrics.AcceptedSummaries.Add(int64(len(batch)))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
-		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(batch))
+		// strconv instead of Fprintf: the ack is written once per
+		// accepted batch on the hottest handler, and fmt's interface
+		// boxing shows up at fold speed.
+		var ack [32]byte
+		resp := append(ack[:0], `{"accepted":`...)
+		resp = strconv.AppendInt(resp, int64(len(batch)), 10)
+		w.Write(append(resp, '}', '\n'))
 	} else {
 		// Backpressure: the fold stage is behind; shed load at the edge
 		// rather than buffering unboundedly.

@@ -108,6 +108,70 @@ func (c *Cell) fold(s *Summary, corr time.Duration, src CorrectionSource) {
 		c.PuncturedHist.Add(p)
 		c.PuncturedSketch.AddDuration(p)
 	}
+	c.foldTail(s, corr, src)
+}
+
+// foldScratch is a fold worker's reusable workspace for the batched
+// fold path: the raw and punctured observation runs are materialized
+// once per summary, then each aggregate absorbs its run with one
+// AddMulti call. One scratch per worker; never shared, never retained
+// past the call.
+type foldScratch struct {
+	rawF []float64
+	rawD []time.Duration
+	punF []float64
+	punD []time.Duration
+}
+
+func (fs *foldScratch) ensure(n int) {
+	if cap(fs.rawF) < n {
+		fs.rawF = make([]float64, n)
+		fs.rawD = make([]time.Duration, n)
+		fs.punF = make([]float64, n)
+		fs.punD = make([]time.Duration, n)
+	}
+	fs.rawF, fs.rawD = fs.rawF[:n], fs.rawD[:n]
+	fs.punF, fs.punD = fs.punF[:n], fs.punD[:n]
+}
+
+// foldBatch is fold with the per-observation loop replaced by the agg
+// batch entry points: one pass builds the raw and clamped-punctured
+// runs in the scratch, then each aggregate absorbs its whole run. The
+// aggregates are independent and every AddMulti is defined to match
+// its serial Add sequence exactly, so foldBatch and fold produce
+// byte-identical cells — the equivalence property tests pin this.
+func (c *Cell) foldBatch(s *Summary, corr time.Duration, src CorrectionSource, fs *foldScratch) {
+	c.Sessions++
+	c.ProbesSent += int64(s.Sent)
+	c.ProbesLost += int64(s.Lost)
+	c.BackgroundSent += int64(s.BackgroundSent)
+	if n := len(s.RTTs); n > 0 {
+		fs.ensure(n)
+		for i, v := range s.RTTs {
+			d := time.Duration(v)
+			fs.rawD[i] = d
+			fs.rawF[i] = float64(d)
+			p := d - corr
+			if p < 0 {
+				p = 0
+			}
+			fs.punD[i] = p
+			fs.punF[i] = float64(p)
+		}
+		c.Raw.AddMulti(fs.rawF)
+		c.RawHist.AddMulti(fs.rawD)
+		c.RawSketch.AddMulti(fs.rawF)
+		c.Punctured.AddMulti(fs.punF)
+		c.PuncturedHist.AddMulti(fs.punD)
+		c.PuncturedSketch.AddMulti(fs.punF)
+	}
+	c.foldTail(s, corr, src)
+}
+
+// foldTail is the per-summary (not per-observation) part of a fold,
+// shared by the serial and batched paths: sketch-only summaries,
+// overhead moments, session flags, and correction provenance.
+func (c *Cell) foldTail(s *Summary, corr time.Duration, src CorrectionSource) {
 	if len(s.RTTs) == 0 && s.Sketch != nil && s.Sketch.Count > 0 {
 		c.foldSketch(s.Sketch, corr)
 	}
@@ -263,6 +327,16 @@ type Store struct {
 	// against it (see DeltasSince in stream.go).
 	epoch  atomic.Int64
 	shards []storeShard
+
+	// gen is the cell-removal generation: bumped — always while holding
+	// the shard lock the cell is deleted under — whenever a fine cell
+	// leaves its shard map (compaction, eviction, prune). Fold workers
+	// cache *Cell handles keyed by this counter (see cellCache): a
+	// worker that re-reads gen under a shard lock and finds it unchanged
+	// knows no fine cell anywhere was removed since the cache was
+	// filled, so its cached handles are still the live map entries.
+	// Inserts don't bump it — a new cell can't invalidate a handle.
+	gen atomic.Int64
 
 	// Lossless-retention state (see retention.go). rollupMS > 0 turns
 	// expired-window compaction on: fine cells past the retention
@@ -442,6 +516,94 @@ func (st *Store) Fold(s *Summary, corr time.Duration, src CorrectionSource) bool
 	}
 }
 
+// cellCacheCap bounds a worker's handle cache; at ~100 B per entry the
+// cap costs well under a MiB per fold worker, and a cache that grows
+// past it (cardinality churn) is cheaper to restart than to manage.
+const cellCacheCap = 8192
+
+// cellCache is one fold worker's private map from cell key to the live
+// *Cell handle, skipping the shard-map lookup on the hot path. Safe
+// because each cell is pinned to one pipe (routing and sharding use the
+// same full-key hash), so only the owning worker ever folds into it —
+// but retention can *remove* a cell at any time, so every use
+// revalidates against the store's removal generation under the shard
+// lock (see Store.gen). Not safe for concurrent use; one per worker.
+type cellCache struct {
+	gen   int64
+	cells map[Key]*Cell
+}
+
+func newCellCache() *cellCache { return &cellCache{cells: make(map[Key]*Cell, 64)} }
+
+// sync discards every cached handle if any fine cell was removed since
+// the cache last validated. Must be called with a shard lock held (the
+// happens-before edge that makes the gen read conclusive — see
+// Store.gen).
+func (cc *cellCache) sync(gen int64) {
+	if cc.gen != gen {
+		clear(cc.cells)
+		cc.gen = gen
+	}
+}
+
+func (cc *cellCache) put(k Key, c *Cell) {
+	if len(cc.cells) >= cellCacheCap {
+		clear(cc.cells)
+	}
+	cc.cells[k] = c
+}
+
+// FoldRun folds a contiguous run of summaries that all belong to cell
+// k — h must be keyHash(k), computed once by the pipeline router —
+// under ONE stripe-lock acquisition and ONE epoch bump, using the agg
+// batch entry points per summary. corrs[i]/srcs[i] are the puncturing
+// results for sums[i], resolved by the caller before the lock is
+// taken. cc (optional) is the worker's handle cache; fs is the
+// worker's fold scratch. Cap handling matches Fold exactly — evict
+// shard-locally, then globally once, else drop — but drops the whole
+// run (it would mint the same cell). Returns how many summaries were
+// folded: len(sums) or 0.
+func (st *Store) FoldRun(k Key, h uint64, sums []Summary, corrs []time.Duration, srcs []CorrectionSource, cc *cellCache, fs *foldScratch) int {
+	sh := &st.shards[h%uint64(len(st.shards))]
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		var c *Cell
+		if cc != nil {
+			cc.sync(st.gen.Load())
+			c = cc.cells[k]
+		}
+		if c == nil {
+			var ok bool
+			c, ok = sh.cells[k]
+			if !ok {
+				if st.cells.Load() >= st.maxCells && !st.evictColdestLocked(sh, k.WindowMS) {
+					sh.mu.Unlock()
+					if attempt == 0 && st.evictColdestGlobal(k.WindowMS) {
+						continue
+					}
+					st.dropped.Add(int64(len(sums)))
+					return 0
+				}
+				c = newCell(k)
+				sh.cells[k] = c
+				st.cells.Add(1)
+			}
+			if cc != nil {
+				// The mint path may have evicted (bumping gen); re-sync so
+				// the fresh handle isn't dropped by the next validation.
+				cc.sync(st.gen.Load())
+				cc.put(k, c)
+			}
+		}
+		for i := range sums {
+			c.foldBatch(&sums[i], corrs[i], srcs[i], fs)
+		}
+		c.Epoch = st.epoch.Add(1)
+		sh.mu.Unlock()
+		return len(sums)
+	}
+}
+
 // Prune deletes every cell whose window closed at or before cutoffMS
 // (Unix ms), returning how many were removed. This is the lossy legacy
 // janitor (compaction-enabled stores use Compact instead); removals
@@ -456,11 +618,15 @@ func (st *Store) Prune(cutoffMS int64) int {
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
+		before := len(removedKeys)
 		for k := range sh.cells {
 			if k.WindowMS+st.windowMS <= cutoffMS {
 				delete(sh.cells, k)
 				removedKeys = append(removedKeys, k)
 			}
+		}
+		if len(removedKeys) > before {
+			st.gen.Add(1) // invalidate cached handles (under this shard's lock)
 		}
 		sh.mu.Unlock()
 	}
@@ -507,7 +673,16 @@ func keyLess(a, b Key) bool {
 }
 
 func sortCells(cells []*Cell) {
-	sort.Slice(cells, func(i, j int) bool { return keyLess(cells[i].Key, cells[j].Key) })
+	// Tie-break equal keys on span: when the rollup width equals the
+	// fine window width a demoted cell and its re-minted fine sibling
+	// share a Key, and without the tie-break snapshot order would
+	// depend on map iteration order.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Key != cells[j].Key {
+			return keyLess(cells[i].Key, cells[j].Key)
+		}
+		return cells[i].SpanMS < cells[j].SpanMS
+	})
 }
 
 // Rollup says which key dimensions a query keeps; dropped dimensions

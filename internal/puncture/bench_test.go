@@ -27,6 +27,7 @@ func populated(models int) *Store {
 // Target ≥ 5M lookups/sec single-node (≤ 200 ns/op); the explicit
 // lookups/sec metric lands in BENCH_5.json via make bench-json.
 func BenchmarkCorrectionLookup(b *testing.B) {
+	b.ReportAllocs()
 	st := populated(1024)
 	names := make([]string, 1024)
 	for i := range names {
@@ -48,6 +49,7 @@ func BenchmarkCorrectionLookup(b *testing.B) {
 // BenchmarkCorrectionLookupParallel is the same read under contention —
 // the many-fold-workers ingestd shape.
 func BenchmarkCorrectionLookupParallel(b *testing.B) {
+	b.ReportAllocs()
 	st := populated(1024)
 	names := make([]string, 1024)
 	for i := range names {
@@ -65,6 +67,7 @@ func BenchmarkCorrectionLookupParallel(b *testing.B) {
 
 // BenchmarkRecordAttribution measures the learning write path.
 func BenchmarkRecordAttribution(b *testing.B) {
+	b.ReportAllocs()
 	st := populated(256)
 	ms := int64(time.Millisecond)
 	b.ResetTimer()
@@ -76,6 +79,7 @@ func BenchmarkRecordAttribution(b *testing.B) {
 // BenchmarkStoreSnapshot measures serializing a 1024-model store —
 // what the ingestd periodic persister pays.
 func BenchmarkStoreSnapshot(b *testing.B) {
+	b.ReportAllocs()
 	st := populated(1024)
 	var buf bytes.Buffer
 	b.ResetTimer()
@@ -92,6 +96,7 @@ func BenchmarkStoreSnapshot(b *testing.B) {
 // BenchmarkStoreMerge measures absorbing a 256-model fleet delta into
 // a 1024-model live store.
 func BenchmarkStoreMerge(b *testing.B) {
+	b.ReportAllocs()
 	st := populated(1024)
 	delta := populated(256).Snapshot()
 	b.ResetTimer()

@@ -206,6 +206,76 @@ func (st *Store) RecordAttribution(model, chipset string, userNS, sdioNS, psmNS 
 	return taught
 }
 
+// Attribution is one attributing session's overhead shares (ns) — the
+// unit RecordAttributionRun folds in bulk.
+type Attribution struct {
+	UserNS, SDIONS, PSMNS int64
+}
+
+// RecordAttributionRun folds a run of attributing sessions that share
+// one model and one chipset under a single acquisition of each lock.
+// The per-session recurrences run in order, so the resulting profiles
+// are identical to calling RecordAttribution in a loop; only the lock
+// traffic, the shard hashing, and the epoch bump (one per run) are
+// amortized. Returns how many sessions taught the model profile (0
+// when minting was refused at the cap — the family and global
+// aggregates still learn, exactly as the single-session path).
+func (st *Store) RecordAttributionRun(model, chipset string, run []Attribution) int {
+	if len(run) == 0 {
+		return 0
+	}
+	taught := 0
+	sh := st.shardFor(model)
+	sh.mu.Lock()
+	p, ok := sh.profiles[model]
+	if !ok && st.models.Load() < st.maxModels.Load() {
+		p = &DeviceProfile{CalEntry: CalEntry{Model: model, Chipset: chipset}}
+		sh.profiles[model] = p
+		st.models.Add(1)
+	}
+	if p != nil {
+		if p.Chipset == "" {
+			p.Chipset = chipset
+		}
+		if chipset == "" {
+			chipset = p.Chipset
+		}
+		for _, a := range run {
+			p.recordAttribution(a.UserNS, a.SDIONS, a.PSMNS)
+		}
+		taught = len(run)
+	}
+	sh.mu.Unlock()
+	if taught == 0 {
+		st.rejected.Add(int64(len(run)))
+	}
+
+	if chipset != "" {
+		fsh := st.famShardFor(chipset)
+		fsh.mu.Lock()
+		f, ok := fsh.families[chipset]
+		if !ok {
+			f = &FamilyProfile{Chipset: chipset}
+			fsh.families[chipset] = f
+		}
+		for _, a := range run {
+			f.recordAttribution(a.UserNS, a.SDIONS, a.PSMNS)
+		}
+		fsh.mu.Unlock()
+	}
+
+	st.globalMu.Lock()
+	for _, a := range run {
+		st.global.recordAttribution(a.UserNS, a.SDIONS, a.PSMNS)
+	}
+	st.globalMu.Unlock()
+	st.epoch.Add(1)
+	return taught
+}
+
+// CountReportedN is CountReported for a whole attributing run.
+func (st *Store) CountReportedN(n int64) { st.resolved[SourceReported].Add(n) }
+
 // RecordCalibration validates and stores calibrated timers on the
 // model's profile, replacing any previous calibration (a direct record
 // is authoritative; only Merge arbitrates between peers). Subject to
